@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation and
+prints the corresponding rows/series.  The heavy ingredients (a trained
+Selector and the word recogniser) are built once per session.  The scale knobs
+(`BENCH_*`) keep the full harness in the minutes range on the numpy substrate;
+raise them for a higher-fidelity run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asr.recognizer import TemplateRecognizer
+from repro.core.config import NECConfig
+from repro.eval.common import prepare_context
+
+# Scale knobs for the benchmark harness.
+BENCH_NUM_SPEAKERS = 8
+BENCH_NUM_TARGETS = 2
+BENCH_EXAMPLES_PER_TARGET = 5
+BENCH_TRAINING_EPOCHS = 8
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> NECConfig:
+    """The reduced geometry used by the benchmark harness (16 kHz is kept for ASR)."""
+    return NECConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_config):
+    """A trained experiment context shared by all benchmarks."""
+    return prepare_context(
+        config=bench_config,
+        num_speakers=BENCH_NUM_SPEAKERS,
+        num_targets=BENCH_NUM_TARGETS,
+        examples_per_target=BENCH_EXAMPLES_PER_TARGET,
+        training_epochs=BENCH_TRAINING_EPOCHS,
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_recognizer(bench_config):
+    """A template recogniser matching the benchmark corpus sample rate."""
+    vocabulary = None  # full lexicon
+    return TemplateRecognizer(sample_rate=bench_config.sample_rate, vocabulary=vocabulary, seed=BENCH_SEED)

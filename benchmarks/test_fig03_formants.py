@@ -1,0 +1,18 @@
+"""Figure 3: speaker-specific, utterance-independent formant structure."""
+
+from repro.eval.las_study import run_formant_observation
+
+
+def test_fig03_formant_observation(benchmark, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_formant_observation(
+            corpus=bench_context.corpus, speakers=bench_context.corpus.speaker_ids[:2]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig. 3] Median formants per (speaker, utterance):")
+    print(result.table())
+    # Same speaker, different sentences: the first formant stays consistent.
+    for speaker in bench_context.corpus.speaker_ids[:2]:
+        assert result.formant_consistency(speaker) < 0.6

@@ -1,0 +1,20 @@
+"""Figure 4: Long-time Average Spectrum of four speakers reading the same sentence."""
+
+from repro.eval.las_study import run_las_curves
+
+
+def test_fig04_las_curves(benchmark, bench_context):
+    speakers = bench_context.corpus.speaker_ids[:4]
+    result = benchmark.pedantic(
+        lambda: run_las_curves(corpus=bench_context.corpus, speakers=speakers),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig. 4] LAS curve separation (mean |difference|, unit-normalised):")
+    for i, a in enumerate(speakers):
+        for b in speakers[i + 1 :]:
+            print(f"  {a} vs {b}: {result.pairwise_distance(a, b):.3f}")
+    # Every speaker's LAS is distinct from every other speaker's.
+    for i, a in enumerate(speakers):
+        for b in speakers[i + 1 :]:
+            assert result.pairwise_distance(a, b) > 0.01

@@ -1,0 +1,20 @@
+"""Figure 5: Pearson correlation matrix of LAS across speakers and utterances."""
+
+from repro.eval.las_study import run_las_correlation
+
+
+def test_fig05_las_correlation_matrix(benchmark, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_las_correlation(
+            corpus=bench_context.corpus,
+            speakers=bench_context.corpus.speaker_ids[:4],
+            utterances_per_speaker=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig. 5] LAS Pearson correlation:")
+    print(f"  same-speaker mean:  {result.mean_same_speaker:.3f}  (paper: ~0.96)")
+    print(f"  cross-speaker mean: {result.mean_cross_speaker:.3f}  (paper: generally < 0.75)")
+    assert result.mean_same_speaker > 0.9
+    assert result.mean_cross_speaker < result.mean_same_speaker

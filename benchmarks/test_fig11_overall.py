@@ -1,0 +1,28 @@
+"""Figure 11: overall system benchmark — hide Bob, retain Alice (SDR + WER)."""
+
+from repro.eval.overall import run_overall_benchmark
+
+
+def test_fig11_overall_benchmark(benchmark, bench_context, bench_recognizer):
+    result = benchmark.pedantic(
+        lambda: run_overall_benchmark(
+            bench_context,
+            instances_per_scenario=2,
+            scenarios=("joint", "babble", "factory", "vehicle"),
+            compute_wer=True,
+            recognizer=bench_recognizer,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig. 11] Overall benchmark (median/mean over all scenarios):")
+    print(result.table())
+    summary = result.summary()
+    # Hide Bob: the recorded SDR of the target must fall vs the raw mixture
+    # (paper: 0.997 dB -> -4.918 dB) and his WER must rise (0.894 -> 1.798).
+    assert summary["sdr_target_recorded"]["median"] < summary["sdr_target_mixed"]["median"]
+    if "wer_target_recorded" in summary:
+        assert (
+            summary["wer_target_recorded"]["median"]
+            >= summary["wer_target_mixed"]["median"] - 1e-9
+        )

@@ -1,0 +1,16 @@
+"""Figure 14: Bob's contribution to the mixed waveform vs distance."""
+
+from repro.eval.distance import run_waveform_distance_study
+
+
+def test_fig14_waveform_vs_distance(benchmark, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_waveform_distance_study(bench_context, distances_m=(0.5, 1.0, 2.0, 3.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig. 14] Bob's share of the mixture vs distance:")
+    print(result.table())
+    shares = [point.target_share for point in result.points]
+    # Bob's contribution decreases monotonically with distance.
+    assert all(earlier >= later for earlier, later in zip(shares, shares[1:]))

@@ -1,0 +1,22 @@
+"""Table I: the benchmark dataset compilation (scaled)."""
+
+from repro.eval.datasets import PAPER_TABLE1_COUNTS, compile_benchmark_dataset
+
+
+def test_table1_dataset_compilation(benchmark, bench_context):
+    dataset = benchmark.pedantic(
+        lambda: compile_benchmark_dataset(
+            bench_context.corpus,
+            bench_context.target_speakers,
+            bench_context.other_speakers,
+            instances_per_scenario=3,
+            duration=bench_context.config.segment_seconds,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Table I] Compiled testing dataset (scaled from the paper's counts):")
+    print(dataset.table())
+    print(f"  paper-scale counts: {PAPER_TABLE1_COUNTS}")
+    assert set(dataset.scenarios) == set(PAPER_TABLE1_COUNTS)
+    assert all(count == 3 for count in dataset.counts().values())

@@ -1,0 +1,33 @@
+"""Table III: carrier range, best carrier and effective distance per recorder."""
+
+from repro.channel.devices import get_device
+from repro.eval.device_study import run_device_study
+
+DEVICES = ["Moto Z4", "iPhone SE2", "iPhone X", "Galaxy S9"]
+
+
+def test_table3_device_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_device_study(
+            devices=DEVICES,
+            carrier_grid_khz=[20.0, 22.0, 24.0, 26.0, 28.0, 30.0, 32.0, 34.0],
+            distance_grid_m=(0.25, 0.5, 1.0, 2.0, 3.0, 4.0),
+            probe_seconds=0.25,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Table III] Measured carrier ranges and reach (reference = paper values):")
+    print(result.table())
+    for characterization in result.devices:
+        reference = get_device(characterization.name)
+        # The measured usable band must fall inside the device's published band
+        # (the grid is coarser than the paper's, so it can be narrower).
+        assert characterization.measured_low_khz >= reference.carrier_low_khz - 1.0
+        assert characterization.measured_high_khz <= reference.carrier_high_khz + 1.0
+    # Long-reach devices measure a larger max distance than short-reach ones.
+    by_name = {d.name: d for d in result.devices}
+    assert (
+        by_name["Galaxy S9"].measured_max_distance_m
+        >= by_name["iPhone X"].measured_max_distance_m
+    )

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Comparison study (paper Fig. 16): NEC vs white-noise jamming vs Patronus.
+
+For several joint conversations, each defence produces a recording and the SDR
+of the target speaker (Bob — should be low) and of the other speaker (Alice —
+should stay high) is measured, reproducing the selectivity argument of the
+paper: only NEC hides Bob without wrecking Alice's reception.
+
+Run with:  python examples/compare_jammers.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.comparison import run_comparison_study
+from repro.eval.common import prepare_context
+
+
+def main() -> None:
+    context = prepare_context(
+        num_speakers=8, num_targets=2, examples_per_target=5, training_epochs=8, seed=5
+    )
+    result = run_comparison_study(context, num_audios=6)
+    print("Median SDR over 6 joint-conversation audios:")
+    print(result.table())
+    print(
+        "\nNEC and Patronus both hide Bob; white noise jams indiscriminately.\n"
+        "NEC keeps Alice's voice best — the speaker-selective property."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Observation study (paper Sec. III, Figs. 3-5): the timbre pattern.
+
+Shows that the Long-time Average Spectrum is speaker-specific but
+utterance-independent on the synthetic corpus: same-speaker utterances
+correlate strongly, cross-speaker utterances do not — the property the NEC
+Selector exploits.
+
+Run with:  python examples/las_observation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio import SyntheticCorpus
+from repro.eval.las_study import (
+    OBSERVATION_SENTENCES,
+    run_formant_observation,
+    run_las_correlation,
+    run_las_curves,
+)
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(num_speakers=4, seed=1)
+    speakers = corpus.speaker_ids
+
+    print("Fig. 3 — median formants per (speaker, utterance):")
+    print(run_formant_observation(corpus=corpus, speakers=speakers[:2]).table())
+
+    print("\nFig. 4 — LAS curve separation between speakers (same sentence):")
+    curves = run_las_curves(corpus=corpus, speakers=speakers)
+    for i, a in enumerate(speakers):
+        for b in speakers[i + 1 :]:
+            print(f"  {a} vs {b}: mean |LAS difference| = {curves.pairwise_distance(a, b):.3f}")
+
+    print("\nFig. 5 — Pearson correlation of LAS across 4 speakers x 10 utterances:")
+    correlation = run_las_correlation(corpus=corpus, speakers=speakers, utterances_per_speaker=10)
+    print(f"  same-speaker mean correlation : {correlation.mean_same_speaker:.3f} (paper ~0.96)")
+    print(f"  cross-speaker mean correlation: {correlation.mean_cross_speaker:.3f} (paper < 0.75)")
+    print(f"  matrix shape: {correlation.matrix.shape}")
+    print("\nSentences used:", *OBSERVATION_SENTENCES, sep="\n  - ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Dynamic time warping over feature sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dtw_distance(sequence_a: np.ndarray, sequence_b: np.ndarray) -> float:
+    """Normalised DTW distance between two ``(frames, features)`` sequences.
+
+    Local cost is the Euclidean distance between frames; the optimal alignment
+    cost is normalised by the combined length so that short and long words are
+    comparable.
+    """
+    a = np.asarray(sequence_a, dtype=np.float64)
+    b = np.asarray(sequence_b, dtype=np.float64)
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        raise ValueError("DTW requires non-empty sequences")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("feature dimensionality mismatch")
+
+    # Pairwise frame distances, computed with broadcasting.
+    squared = (
+        np.sum(a**2, axis=1)[:, None]
+        + np.sum(b**2, axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+    local = np.sqrt(np.maximum(squared, 0.0))
+
+    rows, cols = local.shape
+    accumulated = np.full((rows + 1, cols + 1), np.inf)
+    accumulated[0, 0] = 0.0
+    for i in range(1, rows + 1):
+        # Vectorise over columns where possible: the recurrence still needs the
+        # running minimum along the row, so iterate columns but avoid Python
+        # arithmetic on the local-cost lookup.
+        row_cost = local[i - 1]
+        for j in range(1, cols + 1):
+            best_previous = min(
+                accumulated[i - 1, j], accumulated[i, j - 1], accumulated[i - 1, j - 1]
+            )
+            accumulated[i, j] = row_cost[j - 1] + best_previous
+    return float(accumulated[rows, cols] / (rows + cols))

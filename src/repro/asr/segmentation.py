@@ -1,0 +1,67 @@
+"""Energy-based word segmentation."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def segment_words(
+    signal: np.ndarray,
+    sample_rate: int,
+    frame_duration: float = 0.01,
+    energy_threshold_ratio: float = 0.08,
+    min_word_duration: float = 0.06,
+    min_gap_duration: float = 0.04,
+) -> List[Tuple[int, int]]:
+    """Find (start, end) sample ranges of word-like segments.
+
+    Short-time energy is thresholded at ``energy_threshold_ratio`` times the
+    95th-percentile energy; active regions separated by gaps shorter than
+    ``min_gap_duration`` are merged, and segments shorter than
+    ``min_word_duration`` are dropped.  This matches the synthesiser, which
+    places explicit silent gaps between words — and degrades gracefully (as a
+    real recogniser does) when speakers overlap or the signal is scrambled.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size == 0:
+        return []
+    frame_length = max(int(frame_duration * sample_rate), 1)
+    num_frames = int(np.ceil(signal.size / frame_length))
+    padded = np.pad(signal, (0, num_frames * frame_length - signal.size))
+    frames = padded.reshape(num_frames, frame_length)
+    energy = np.sqrt(np.mean(frames**2, axis=1))
+    reference = np.percentile(energy, 95)
+    if reference <= 0:
+        return []
+    active = energy > energy_threshold_ratio * reference
+
+    # Merge active frames into segments, bridging short gaps.
+    max_gap_frames = max(int(min_gap_duration / frame_duration), 1)
+    min_word_frames = max(int(min_word_duration / frame_duration), 1)
+    segments: List[Tuple[int, int]] = []
+    start = None
+    gap = 0
+    for index, flag in enumerate(active):
+        if flag:
+            if start is None:
+                start = index
+            gap = 0
+        elif start is not None:
+            gap += 1
+            if gap > max_gap_frames:
+                end = index - gap + 1
+                if end - start >= min_word_frames:
+                    segments.append((start, end))
+                start = None
+                gap = 0
+    if start is not None:
+        end = num_frames
+        if end - start >= min_word_frames:
+            segments.append((start, end))
+
+    return [
+        (seg_start * frame_length, min(seg_end * frame_length, signal.size))
+        for seg_start, seg_end in segments
+    ]

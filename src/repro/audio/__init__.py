@@ -1,0 +1,56 @@
+"""Audio substrate: signals, synthetic speech, corpora and noises.
+
+The paper evaluates NEC on LibriSpeech utterances mixed with NOISEX-92 noise
+and on live recordings of volunteers.  Neither resource is available offline,
+so this package synthesises an equivalent workload:
+
+* :mod:`repro.audio.voice` — a source-filter speech synthesiser whose
+  per-speaker parameters (pitch, vocal-tract length, formant structure,
+  spectral tilt) give exactly the speaker-specific / utterance-independent
+  spectral behaviour the paper's mechanism relies on;
+* :mod:`repro.audio.corpus` — a LibriSpeech-like corpus of synthetic speakers
+  and utterances with transcripts;
+* :mod:`repro.audio.noise` — NOISEX-92-like babble / factory / vehicle / white
+  noise generators with the band-limits of the paper's Table I.
+"""
+
+from repro.audio.signal import AudioSignal
+from repro.audio.phonemes import Phoneme, PHONEME_INVENTORY, VOWELS, word_to_phonemes
+from repro.audio.lexicon import LEXICON, SENTENCES, random_sentence, sentence_words
+from repro.audio.voice import SpeakerProfile, VoiceSynthesizer, random_speaker_profile
+from repro.audio.corpus import SyntheticCorpus, Utterance
+from repro.audio.noise import (
+    white_noise,
+    babble_noise,
+    factory_noise,
+    vehicle_noise,
+    noise_by_name,
+    NOISE_SCENARIOS,
+)
+from repro.audio.mixing import mix_at_snr, mix_signals, joint_conversation
+
+__all__ = [
+    "AudioSignal",
+    "Phoneme",
+    "PHONEME_INVENTORY",
+    "VOWELS",
+    "word_to_phonemes",
+    "LEXICON",
+    "SENTENCES",
+    "random_sentence",
+    "sentence_words",
+    "SpeakerProfile",
+    "VoiceSynthesizer",
+    "random_speaker_profile",
+    "SyntheticCorpus",
+    "Utterance",
+    "white_noise",
+    "babble_noise",
+    "factory_noise",
+    "vehicle_noise",
+    "noise_by_name",
+    "NOISE_SCENARIOS",
+    "mix_at_snr",
+    "mix_signals",
+    "joint_conversation",
+]

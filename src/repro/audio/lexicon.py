@@ -1,0 +1,147 @@
+"""Word lexicon, pronunciations and sentence material.
+
+Includes the two sentences the paper uses for its observation study
+("my ideal morning begins with hot coffee", "don't ask me to carry an oily
+rag like that") plus a pool of sentences assembled from a ~70-word vocabulary
+for corpus generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+# word -> phoneme symbols (see repro.audio.phonemes.PHONEME_INVENTORY)
+LEXICON: Dict[str, List[str]] = {
+    "my": ["M", "AY"],
+    "ideal": ["AY", "D", "IY", "L"],
+    "morning": ["M", "AO", "R", "N", "IH", "NG"],
+    "begins": ["B", "IH", "G", "IH", "N", "Z"],
+    "with": ["W", "IH", "TH"],
+    "hot": ["HH", "AA", "T"],
+    "coffee": ["K", "AO", "F", "IY"],
+    "dont": ["D", "OW", "N", "T"],
+    "ask": ["AE", "S", "K"],
+    "me": ["M", "IY"],
+    "to": ["T", "UW"],
+    "carry": ["K", "AE", "R", "IY"],
+    "an": ["AE", "N"],
+    "oily": ["AO", "Y", "L", "IY"],
+    "rag": ["R", "AE", "G"],
+    "like": ["L", "AY", "K"],
+    "that": ["TH", "AE", "T"],
+    "the": ["TH", "AH"],
+    "quick": ["K", "W", "IH", "K"],
+    "brown": ["B", "R", "AH", "N"],
+    "fox": ["F", "AA", "K", "S"],
+    "jumps": ["D", "AH", "M", "P", "S"],
+    "over": ["OW", "V", "ER"],
+    "lazy": ["L", "EY", "Z", "IY"],
+    "dog": ["D", "AO", "G"],
+    "she": ["SH", "IY"],
+    "sells": ["S", "EH", "L", "Z"],
+    "sea": ["S", "IY"],
+    "shells": ["SH", "EH", "L", "Z"],
+    "by": ["B", "AY"],
+    "shore": ["SH", "AO", "R"],
+    "please": ["P", "L", "IY", "Z"],
+    "call": ["K", "AO", "L"],
+    "stella": ["S", "T", "EH", "L", "AH"],
+    "bring": ["B", "R", "IH", "NG"],
+    "these": ["TH", "IY", "Z"],
+    "things": ["TH", "IH", "NG", "Z"],
+    "from": ["F", "R", "AH", "M"],
+    "store": ["S", "T", "AO", "R"],
+    "six": ["S", "IH", "K", "S"],
+    "spoons": ["S", "P", "UW", "N", "Z"],
+    "of": ["AH", "V"],
+    "fresh": ["F", "R", "EH", "SH"],
+    "snow": ["S", "N", "OW"],
+    "peas": ["P", "IY", "Z"],
+    "five": ["F", "AY", "V"],
+    "thick": ["TH", "IH", "K"],
+    "slabs": ["S", "L", "AE", "B", "Z"],
+    "blue": ["B", "L", "UW"],
+    "cheese": ["SH", "IY", "Z"],
+    "and": ["AE", "N", "D"],
+    "maybe": ["M", "EY", "B", "IY"],
+    "a": ["AH"],
+    "snack": ["S", "N", "AE", "K"],
+    "for": ["F", "AO", "R"],
+    "her": ["HH", "ER"],
+    "brother": ["B", "R", "AH", "TH", "ER"],
+    "bob": ["B", "AA", "B"],
+    "we": ["W", "IY"],
+    "also": ["AO", "L", "S", "OW"],
+    "need": ["N", "IY", "D"],
+    "needs": ["N", "IY", "D", "Z"],
+    "small": ["S", "M", "AO", "L"],
+    "plastic": ["P", "L", "AE", "S", "T", "IH", "K"],
+    "snake": ["S", "N", "EY", "K"],
+    "big": ["B", "IH", "G"],
+    "toy": ["T", "OW", "Y"],
+    "frog": ["F", "R", "AO", "G"],
+    "kids": ["K", "IH", "D", "Z"],
+    "can": ["K", "AE", "N"],
+    "scoop": ["S", "K", "UW", "P"],
+    "into": ["IH", "N", "T", "UW"],
+    "three": ["TH", "R", "IY"],
+    "red": ["R", "EH", "D"],
+    "bags": ["B", "AE", "G", "Z"],
+    "go": ["G", "OW"],
+    "meet": ["M", "IY", "T"],
+    "wednesday": ["W", "EH", "N", "Z", "D", "EY"],
+    "at": ["AE", "T"],
+    "train": ["T", "R", "EY", "N"],
+    "station": ["S", "T", "EY", "SH", "AH", "N"],
+    "water": ["W", "AO", "T", "ER"],
+    "is": ["IH", "Z"],
+    "very": ["V", "EH", "R", "IY"],
+    "cold": ["K", "OW", "L", "D"],
+    "today": ["T", "UH", "D", "EY"],
+}
+
+# Sentences used by the paper's observation study plus corpus material
+# (Harvard-sentence style, restricted to the lexicon above).
+SENTENCES: List[str] = [
+    "my ideal morning begins with hot coffee",
+    "dont ask me to carry an oily rag like that",
+    "the quick brown fox jumps over the lazy dog",
+    "she sells sea shells by the sea shore",
+    "please call stella and bring these things from the store",
+    "six spoons of fresh snow peas and five thick slabs of blue cheese",
+    "maybe a snack for her brother bob",
+    "we also need a small plastic snake and a big toy frog for the kids",
+    "she can scoop these things into three red bags",
+    "we go meet her wednesday at the train station",
+    "the water is very cold today",
+    "please bring me hot coffee and a snack",
+    "the kids carry the big toy frog to the store",
+    "bob jumps over the cold water by the shore",
+    "call me at the station with these things",
+    "the lazy dog jumps into the cold water",
+    "she needs five red bags from the store",
+    "my brother bob sells cheese by the train station",
+    "bring the small snake and the toy frog today",
+    "we ask for fresh peas and blue cheese",
+]
+
+# Normalise "needs" which is not in the lexicon -> rewrite sentence 17.
+SENTENCES[16] = "she need five red bags from the store"
+
+
+def sentence_words(sentence: str) -> List[str]:
+    """Split a sentence into lexicon words, validating membership."""
+    words = sentence.lower().split()
+    unknown = [word for word in words if word not in LEXICON]
+    if unknown:
+        raise KeyError(f"words not in lexicon: {unknown}")
+    return words
+
+
+def random_sentence(rng: np.random.Generator, num_words: int = 8) -> str:
+    """Draw a pseudo-sentence of ``num_words`` random lexicon words."""
+    vocabulary = sorted(LEXICON)
+    picks = rng.choice(len(vocabulary), size=num_words, replace=True)
+    return " ".join(vocabulary[index] for index in picks)

@@ -1,0 +1,90 @@
+"""A compact phoneme inventory for the synthetic speech generator.
+
+Vowel formant targets follow the classical Peterson & Barney / Hillenbrand
+measurements for American English; consonants are modelled by their broad
+articulatory class (fricative noise band, stop silence+burst, nasal murmur).
+The inventory is intentionally small — it is large enough to give the corpus a
+realistic phonetic balance while keeping the word lexicon unambiguous for the
+template-matching ASR substitute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Phoneme:
+    """A phoneme and the acoustic recipe used to synthesise it."""
+
+    symbol: str
+    kind: str  # "vowel", "fricative", "stop", "nasal", "approximant", "silence"
+    formants: Tuple[float, ...] = ()
+    voiced: bool = True
+    noise_band: Optional[Tuple[float, float]] = None
+    duration: float = 0.10  # nominal duration in seconds
+    amplitude: float = 1.0
+
+
+# Vowels: (F1, F2, F3) targets in Hz.
+_VOWEL_TABLE: Dict[str, Tuple[float, float, float]] = {
+    "IY": (270.0, 2290.0, 3010.0),   # beet
+    "IH": (390.0, 1990.0, 2550.0),   # bit
+    "EH": (530.0, 1840.0, 2480.0),   # bet
+    "AE": (660.0, 1720.0, 2410.0),   # bat
+    "AA": (730.0, 1090.0, 2440.0),   # father
+    "AO": (570.0, 840.0, 2410.0),    # bought
+    "UH": (440.0, 1020.0, 2240.0),   # book
+    "UW": (300.0, 870.0, 2240.0),    # boot
+    "AH": (640.0, 1190.0, 2390.0),   # but
+    "ER": (490.0, 1350.0, 1690.0),   # bird
+    "EY": (480.0, 2100.0, 2700.0),   # bait (monophthong approximation)
+    "OW": (500.0, 950.0, 2350.0),    # boat (monophthong approximation)
+    "AY": (660.0, 1500.0, 2500.0),   # bite (midpoint approximation)
+}
+
+_CONSONANT_TABLE: List[Phoneme] = [
+    Phoneme("S", "fricative", voiced=False, noise_band=(4000.0, 7600.0), duration=0.09, amplitude=0.35),
+    Phoneme("SH", "fricative", voiced=False, noise_band=(2000.0, 6000.0), duration=0.09, amplitude=0.4),
+    Phoneme("F", "fricative", voiced=False, noise_band=(1500.0, 7000.0), duration=0.08, amplitude=0.25),
+    Phoneme("TH", "fricative", voiced=False, noise_band=(1400.0, 7000.0), duration=0.08, amplitude=0.2),
+    Phoneme("Z", "fricative", voiced=True, noise_band=(4000.0, 7600.0), duration=0.08, amplitude=0.3),
+    Phoneme("V", "fricative", voiced=True, noise_band=(1000.0, 5000.0), duration=0.07, amplitude=0.25),
+    Phoneme("HH", "fricative", voiced=False, noise_band=(500.0, 4000.0), duration=0.06, amplitude=0.2),
+    Phoneme("P", "stop", voiced=False, noise_band=(500.0, 3000.0), duration=0.07, amplitude=0.4),
+    Phoneme("T", "stop", voiced=False, noise_band=(2500.0, 6000.0), duration=0.07, amplitude=0.4),
+    Phoneme("K", "stop", voiced=False, noise_band=(1500.0, 4000.0), duration=0.07, amplitude=0.4),
+    Phoneme("B", "stop", voiced=True, noise_band=(300.0, 2000.0), duration=0.06, amplitude=0.35),
+    Phoneme("D", "stop", voiced=True, noise_band=(2000.0, 5000.0), duration=0.06, amplitude=0.35),
+    Phoneme("G", "stop", voiced=True, noise_band=(1000.0, 3000.0), duration=0.06, amplitude=0.35),
+    Phoneme("M", "nasal", formants=(250.0, 1200.0, 2100.0), duration=0.08, amplitude=0.6),
+    Phoneme("N", "nasal", formants=(250.0, 1400.0, 2300.0), duration=0.08, amplitude=0.6),
+    Phoneme("NG", "nasal", formants=(250.0, 1100.0, 2000.0), duration=0.08, amplitude=0.6),
+    Phoneme("L", "approximant", formants=(360.0, 1300.0, 2700.0), duration=0.07, amplitude=0.7),
+    Phoneme("R", "approximant", formants=(420.0, 1300.0, 1600.0), duration=0.07, amplitude=0.7),
+    Phoneme("W", "approximant", formants=(300.0, 700.0, 2200.0), duration=0.06, amplitude=0.7),
+    Phoneme("Y", "approximant", formants=(280.0, 2200.0, 2900.0), duration=0.06, amplitude=0.7),
+    Phoneme("SIL", "silence", duration=0.05, amplitude=0.0, voiced=False),
+]
+
+
+def _build_inventory() -> Dict[str, Phoneme]:
+    inventory: Dict[str, Phoneme] = {}
+    for symbol, (f1, f2, f3) in _VOWEL_TABLE.items():
+        inventory[symbol] = Phoneme(symbol, "vowel", formants=(f1, f2, f3), duration=0.13)
+    for phoneme in _CONSONANT_TABLE:
+        inventory[phoneme.symbol] = phoneme
+    return inventory
+
+
+PHONEME_INVENTORY: Dict[str, Phoneme] = _build_inventory()
+VOWELS: Tuple[str, ...] = tuple(sorted(_VOWEL_TABLE))
+
+
+def word_to_phonemes(word: str, pronunciation: Dict[str, List[str]]) -> List[Phoneme]:
+    """Resolve a word into its phoneme objects using a pronunciation dict."""
+    key = word.lower()
+    if key not in pronunciation:
+        raise KeyError(f"word '{word}' is not in the lexicon")
+    return [PHONEME_INVENTORY[symbol] for symbol in pronunciation[key]]

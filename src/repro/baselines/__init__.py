@@ -1,0 +1,15 @@
+"""Comparison systems used in the paper's evaluation.
+
+* :class:`WhiteNoiseJammer` — the commercial-ultrasonic-jammer stand-in: adds
+  broadband white noise over the recording (Sec. VI-B);
+* :class:`PatronusJammer` — a scrambling-based jammer with selective
+  unscrambling for authorised devices, modelled after Patronus (SenSys'20);
+* :class:`VoiceFilterModel` — the VoiceFilter separation network
+  (CNN + LSTM + FC) used for the running-time comparison of Table II.
+"""
+
+from repro.baselines.white_noise import WhiteNoiseJammer
+from repro.baselines.patronus import PatronusJammer
+from repro.baselines.voicefilter import VoiceFilterModel
+
+__all__ = ["WhiteNoiseJammer", "PatronusJammer", "VoiceFilterModel"]

@@ -1,0 +1,88 @@
+"""A VoiceFilter-style separation network (Wang et al., Interspeech 2019).
+
+VoiceFilter is the paper's reference point for model efficiency (Table II):
+it uses a deeper CNN stack than the NEC Selector plus an LSTM layer, which is
+precisely the module the NEC authors argue is unnecessary for their task.
+This implementation mirrors that structure at the geometry of an
+:class:`~repro.core.config.NECConfig` so that the running-time comparison is
+apples-to-apples on the same numpy substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import NECConfig
+from repro.nn import Conv2d, Dense, LSTM, Module, Tensor
+
+
+class VoiceFilterModel(Module):
+    """CNN (8 layers) + LSTM + 2 FC mask predictor conditioned on a d-vector."""
+
+    def __init__(self, config: NECConfig, seed: int = 0) -> None:
+        super().__init__()
+        config.validate()
+        self.config = config
+        rng = np.random.default_rng(seed)
+        channels = config.selector_channels
+        freq_bins = config.frequency_bins
+
+        # VoiceFilter's published CNN stack: 1x7, 7x1, five dilated 5x5, 1x1.
+        dilations = [1, 2, 4, 8, 16][: max(len(config.selector_dilations) + 1, 2)]
+        self.conv_freq = Conv2d(1, channels, (1, 7), padding=(0, 3), rng=rng)
+        self.conv_time = Conv2d(channels, channels, (7, 1), padding=(3, 0), rng=rng)
+        self.dilated = [
+            Conv2d(
+                channels,
+                channels,
+                (5, 5),
+                padding=(2 * dilation, 2),
+                dilation=(dilation, 1),
+                rng=rng,
+            )
+            for dilation in dilations
+        ]
+        self.conv_out = Conv2d(channels, 8, (1, 1), rng=rng)
+
+        lstm_input = 8 * freq_bins + config.embedding_dim
+        # VoiceFilter's published LSTM is 400 units wide — substantially wider
+        # than NEC's fully connected head; keep the same proportion here.
+        self.lstm_hidden = max(2 * config.fc_hidden, 64)
+        self.lstm = LSTM(lstm_input, self.lstm_hidden, rng=rng)
+        self.fc1 = Dense(self.lstm_hidden, config.fc_hidden, rng=rng)
+        self.fc2 = Dense(config.fc_hidden, freq_bins, rng=rng)
+
+    def num_conv_layers(self) -> int:
+        return 3 + len(self.dilated)
+
+    def forward(self, mixed_spectrogram: Tensor, d_vector: Tensor) -> Tensor:
+        """Predict a soft mask of shape ``(T, F)`` for the target speaker."""
+        if not isinstance(mixed_spectrogram, Tensor):
+            mixed_spectrogram = Tensor(mixed_spectrogram)
+        if not isinstance(d_vector, Tensor):
+            d_vector = Tensor(d_vector)
+        freq_bins, frames = mixed_spectrogram.shape
+        compressed = (mixed_spectrogram + 1e-6).log()
+        image = compressed.transpose(1, 0).reshape(1, 1, frames, freq_bins)
+
+        hidden = self.conv_freq(image).relu()
+        hidden = self.conv_time(hidden).relu()
+        for layer in self.dilated:
+            hidden = layer(hidden).relu()
+        features = self.conv_out(hidden).relu()          # (1, 8, T, F)
+        features = features.transpose(0, 2, 1, 3).reshape(frames, 8 * freq_bins)
+
+        tiled = Tensor(np.tile(d_vector.data.reshape(1, -1), (frames, 1)))
+        fused = Tensor.concatenate([features, tiled], axis=1)
+        sequence = fused.reshape(1, frames, fused.shape[1])
+        recurrent = self.lstm(sequence).reshape(frames, self.lstm_hidden)
+        hidden = self.fc1(recurrent).relu()
+        return self.fc2(hidden).sigmoid()                 # (T, F)
+
+    def separate(self, mixed_spectrogram: np.ndarray, d_vector: np.ndarray) -> np.ndarray:
+        """Target-speaker magnitude estimate ``mask * S_mixed`` of shape ``(F, T)``."""
+        mixed = np.asarray(mixed_spectrogram, dtype=np.float64)
+        mask = self.forward(Tensor(mixed), Tensor(np.asarray(d_vector))).data.T
+        return mask * mixed

@@ -1,0 +1,33 @@
+"""White-noise jamming baseline (the "commercial jammer" of the comparison)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.audio.signal import AudioSignal
+
+
+class WhiteNoiseJammer:
+    """Indiscriminate jamming: add white noise on top of the recording.
+
+    The paper simulates commercial ultrasonic jammers by adding 10 dB of white
+    noise over the recorded sound; the same convention is used here.
+    ``noise_gain_db`` is the noise power relative to the recording power
+    (positive values mean the noise is louder than the speech).
+    """
+
+    def __init__(self, noise_gain_db: float = 10.0, seed: int = 0) -> None:
+        self.noise_gain_db = noise_gain_db
+        self._rng = np.random.default_rng(seed)
+
+    def jam(self, recording: AudioSignal, rng: Optional[np.random.Generator] = None) -> AudioSignal:
+        """Return the recording with the jamming noise superposed."""
+        rng = rng if rng is not None else self._rng
+        noise = rng.standard_normal(recording.num_samples)
+        noise_rms = recording.rms() * (10.0 ** (self.noise_gain_db / 20.0))
+        current = np.sqrt(np.mean(noise**2))
+        if current > 0:
+            noise = noise * (noise_rms / current)
+        return AudioSignal(recording.data + noise, recording.sample_rate)

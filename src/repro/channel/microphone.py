@@ -1,0 +1,122 @@
+"""COTS microphone front-end with polynomial non-linearity (paper Sec. IV-C1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.audio.signal import AudioSignal
+from repro.dsp.filters import bandpass_filter, lowpass_filter
+from repro.dsp.resample import resample
+
+
+@dataclass(frozen=True)
+class Nonlinearity:
+    """Polynomial amplifier model ``V_out = a1 V + a2 V^2 + a3 V^3``.
+
+    ``a2`` is the term NEC relies on: squaring the AM carrier produces the
+    audible baseband again (Eq. 8).  A perfectly linear microphone (``a2 = a3 =
+    0``) does not demodulate the shadow sound at all — the paper's stated
+    limitation.
+    """
+
+    a1: float = 1.0
+    a2: float = 0.08
+    a3: float = 0.005
+
+    def apply(self, voltage: np.ndarray) -> np.ndarray:
+        voltage = np.asarray(voltage, dtype=np.float64)
+        return self.a1 * voltage + self.a2 * voltage**2 + self.a3 * voltage**3
+
+
+@dataclass
+class MicrophoneModel:
+    """A smartphone microphone: band response, non-linearity, low-pass, ADC.
+
+    ``ultrasound_gain`` models how strongly the diaphragm responds in the
+    carrier band (device dependent — the root of Table III's per-device
+    diversity); ``recording_rate`` is the rate of the final recording (16 kHz,
+    as used throughout the paper).
+    """
+
+    nonlinearity: Nonlinearity = field(default_factory=Nonlinearity)
+    ultrasound_gain: float = 1.0
+    carrier_low_hz: float = 20_000.0
+    carrier_high_hz: float = 40_000.0
+    lowpass_cutoff_hz: float = 7_600.0
+    recording_rate: int = 16_000
+    adc_noise_rms: float = 1e-4
+    clip_level: float = 2.0
+
+    def record(
+        self,
+        audible: Optional[AudioSignal],
+        ultrasonic: Optional[AudioSignal] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> AudioSignal:
+        """Capture a scene consisting of an audible part and an ultrasonic part.
+
+        Both inputs must already be propagated to the microphone position.
+        The ultrasonic part is scaled by the device's carrier-band gain, summed
+        with the audible part at the ADC rate, passed through the polynomial
+        non-linearity, low-pass filtered (removing carrier products), resampled
+        to the recording rate and lightly quantised.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if audible is None and ultrasonic is None:
+            raise ValueError("record() needs at least one input signal")
+
+        if ultrasonic is not None:
+            adc_rate = ultrasonic.sample_rate
+        else:
+            adc_rate = max(audible.sample_rate, self.recording_rate)
+
+        total = None
+        if audible is not None:
+            audible_up = resample(audible.data, audible.sample_rate, adc_rate)
+            total = audible_up
+        if ultrasonic is not None:
+            carrier_part = self._carrier_band(ultrasonic.data, ultrasonic.sample_rate)
+            carrier_part = carrier_part * self.ultrasound_gain
+            if total is None:
+                total = carrier_part
+            else:
+                length = max(total.size, carrier_part.size)
+                padded = np.zeros(length)
+                padded[: total.size] += total
+                padded[: carrier_part.size] += carrier_part
+                total = padded
+
+        voltage = self.nonlinearity.apply(total)
+        cutoff = min(self.lowpass_cutoff_hz, adc_rate / 2.0 * 0.98)
+        filtered = lowpass_filter(voltage, cutoff, adc_rate)
+        filtered = filtered - np.mean(filtered)
+        recorded = resample(filtered, adc_rate, self.recording_rate)
+        recorded = recorded + self.adc_noise_rms * rng.standard_normal(recorded.size)
+        recorded = np.clip(recorded, -self.clip_level, self.clip_level)
+        return AudioSignal(recorded, self.recording_rate)
+
+    def _carrier_band(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        """Apply the diaphragm's ultrasonic band response to a carrier signal."""
+        nyquist = sample_rate / 2.0
+        low = min(self.carrier_low_hz, nyquist * 0.9)
+        high = min(self.carrier_high_hz, nyquist * 0.98)
+        if high <= low:
+            return np.asarray(samples, dtype=np.float64).copy()
+        return bandpass_filter(samples, low, high, sample_rate, order=4)
+
+    def demodulation_effectiveness(self, carrier_hz: float) -> float:
+        """Relative demodulation strength at a carrier frequency (0..1).
+
+        Zero outside the supported carrier band; within the band a smooth bump
+        peaking at the band centre.  Device profiles re-parameterise this to
+        reproduce the "best carrier frequency" column of Table III.
+        """
+        if not self.carrier_low_hz <= carrier_hz <= self.carrier_high_hz:
+            return 0.0
+        center = 0.5 * (self.carrier_low_hz + self.carrier_high_hz)
+        half_width = 0.5 * (self.carrier_high_hz - self.carrier_low_hz)
+        normalised = (carrier_hz - center) / max(half_width, 1e-9)
+        return float(np.cos(0.5 * np.pi * normalised) ** 2)

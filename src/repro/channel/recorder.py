@@ -1,0 +1,81 @@
+"""A recorder capturing a scene of audible speakers and ultrasonic broadcasts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.audio.signal import AudioSignal
+from repro.audio.mixing import mix_signals
+from repro.channel.devices import DeviceProfile, get_device
+from repro.channel.propagation import propagate
+from repro.channel.ultrasound import ULTRASOUND_RATE
+
+
+@dataclass
+class SceneSource:
+    """One sound source in a recording scene.
+
+    ``signal`` is the emitted waveform at the source.  ``is_ultrasound`` marks
+    NEC broadcasts (already AM-modulated, at the ultrasound simulation rate);
+    everything else is ordinary audible sound.  ``extra_delay_s`` adds system
+    processing latency on top of the propagation delay (the paper's t_p).
+    """
+
+    signal: AudioSignal
+    distance_m: float
+    is_ultrasound: bool = False
+    carrier_khz: Optional[float] = None
+    extra_delay_s: float = 0.0
+    label: str = ""
+
+
+class Recorder:
+    """A smartphone recorder placed in a scene (the paper's "Alice's phone")."""
+
+    def __init__(
+        self,
+        device: DeviceProfile | str = "Moto Z4",
+        seed: int = 0,
+    ) -> None:
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.microphone = self.device.microphone()
+        self._rng = np.random.default_rng(seed)
+
+    def record_scene(self, sources: Sequence[SceneSource]) -> AudioSignal:
+        """Record all sources after propagating each to the recorder position.
+
+        Audible sources are propagated and mixed in the audible band;
+        ultrasonic sources are propagated at the ultrasound rate, scaled by the
+        device's carrier response, and demodulated by the microphone's
+        non-linearity inside :meth:`MicrophoneModel.record`.
+        """
+        if not sources:
+            raise ValueError("record_scene needs at least one source")
+        audible_parts: List[AudioSignal] = []
+        ultrasonic_parts: List[AudioSignal] = []
+        for source in sources:
+            propagated = propagate(
+                source.signal,
+                source.distance_m,
+                include_absorption=not source.is_ultrasound,
+                extra_delay_s=source.extra_delay_s,
+            )
+            if source.is_ultrasound:
+                carrier_khz = source.carrier_khz
+                if carrier_khz is None:
+                    raise ValueError("ultrasound sources must specify carrier_khz")
+                response = self.device.carrier_response(carrier_khz)
+                ultrasonic_parts.append(propagated.scale(response))
+            else:
+                audible_parts.append(propagated)
+
+        audible = mix_signals(audible_parts) if audible_parts else None
+        ultrasonic = mix_signals(ultrasonic_parts) if ultrasonic_parts else None
+        return self.microphone.record(audible, ultrasonic, rng=self._rng)
+
+    def record_audible(self, signal: AudioSignal, distance_m: float) -> AudioSignal:
+        """Convenience wrapper: record a single audible source."""
+        return self.record_scene([SceneSource(signal, distance_m)])

@@ -1,0 +1,216 @@
+"""The end-to-end NEC system: enroll, protect, broadcast, record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.audio.signal import AudioSignal
+from repro.channel.recorder import Recorder, SceneSource
+from repro.channel.ultrasound import UltrasoundSpeaker
+from repro.core.config import NECConfig
+from repro.core.encoder import SpeakerEncoder, SpectralEncoder
+from repro.core.overshadow import apply_offsets, shadow_waveform, superpose_spectrograms
+from repro.core.selector import Selector
+from repro.dsp.stft import magnitude_spectrogram
+
+
+@dataclass
+class ProtectionResult:
+    """Everything NEC produces for one mixed-audio segment."""
+
+    mixed_audio: AudioSignal
+    mixed_spectrogram: np.ndarray       # (F, T)
+    shadow_spectrogram: np.ndarray      # (F, T), signed
+    shadow_wave: AudioSignal
+    record_spectrogram: np.ndarray      # predicted S_mixed + S_shadow
+
+    @property
+    def predicted_suppression_db(self) -> float:
+        """Predicted energy reduction of the recording vs the mixture (dB)."""
+        mixed_energy = float(np.sum(self.mixed_spectrogram**2))
+        record_energy = float(np.sum(self.record_spectrogram**2))
+        if record_energy <= 0 or mixed_energy <= 0:
+            return 0.0
+        return 10.0 * float(np.log10(mixed_energy / record_energy))
+
+
+class NECSystem:
+    """Neural Enhanced Cancellation, end to end.
+
+    Typical usage::
+
+        system = NECSystem(config)
+        system.enroll(corpus.reference_audios("spk000"))
+        result = system.protect(mixed_audio)          # shadow wave for broadcast
+        recorded = system.superpose(mixed_audio, result)   # ideal superposition
+        # or, over the simulated air channel:
+        recorded = system.record_over_the_air(bob, alice, recorder, distance_m=1.0)
+    """
+
+    def __init__(
+        self,
+        config: Optional[NECConfig] = None,
+        encoder: Optional[SpeakerEncoder] = None,
+        selector: Optional[Selector] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = (config or NECConfig.default()).validate()
+        self.encoder = encoder if encoder is not None else SpectralEncoder(self.config, seed=seed)
+        self.selector = selector if selector is not None else Selector(self.config, seed=seed)
+        self.speaker = UltrasoundSpeaker(
+            carrier_hz=self.config.carrier_khz * 1000.0,
+            power_coefficient=self.config.power_coefficient,
+        )
+        self._embedding: Optional[np.ndarray] = None
+
+    # -- enrollment -----------------------------------------------------------
+    def enroll(self, reference_audios: Sequence[AudioSignal | np.ndarray]) -> np.ndarray:
+        """Enroll the protected (target) speaker from reference audio.
+
+        The paper requires only three 3-second clips; fewer are accepted but a
+        warning-level check enforces at least one.
+        """
+        if not reference_audios:
+            raise ValueError("enrollment requires at least one reference audio")
+        self._embedding = self.encoder.embed(reference_audios)
+        return self._embedding
+
+    @property
+    def is_enrolled(self) -> bool:
+        return self._embedding is not None
+
+    @property
+    def embedding(self) -> np.ndarray:
+        if self._embedding is None:
+            raise RuntimeError("no speaker enrolled; call enroll() first")
+        return self._embedding
+
+    # -- shadow generation ---------------------------------------------------------
+    def _segments(self, audio: AudioSignal) -> List[AudioSignal]:
+        """Split audio into segment-sized chunks (the last one zero-padded)."""
+        segment = self.config.segment_samples
+        chunks: List[AudioSignal] = []
+        for start in range(0, max(audio.num_samples, 1), segment):
+            chunk = AudioSignal(audio.data[start : start + segment], audio.sample_rate)
+            if chunk.num_samples == 0:
+                break
+            chunks.append(chunk.fit_to(segment))
+        return chunks or [audio.fit_to(segment)]
+
+    def protect_segment(self, mixed_segment: AudioSignal) -> ProtectionResult:
+        """Run the Selector on one segment and build the shadow wave."""
+        if mixed_segment.sample_rate != self.config.sample_rate:
+            raise ValueError(
+                f"expected {self.config.sample_rate} Hz audio, got {mixed_segment.sample_rate}"
+            )
+        mixed_spec = magnitude_spectrogram(
+            mixed_segment.data,
+            self.config.n_fft,
+            self.config.win_length,
+            self.config.hop_length,
+        )
+        shadow_spec = self.selector.shadow_spectrogram(mixed_spec, self.embedding)
+        record_spec = superpose_spectrograms(mixed_spec, shadow_spec)
+        shadow_wave = shadow_waveform(mixed_segment, shadow_spec, self.config)
+        return ProtectionResult(
+            mixed_audio=mixed_segment,
+            mixed_spectrogram=mixed_spec,
+            shadow_spectrogram=shadow_spec,
+            shadow_wave=shadow_wave,
+            record_spectrogram=record_spec,
+        )
+
+    def protect(self, mixed_audio: AudioSignal) -> ProtectionResult:
+        """Protect an arbitrary-length mixed audio (processed per segment)."""
+        segments = self._segments(mixed_audio)
+        results = [self.protect_segment(segment) for segment in segments]
+        if len(results) == 1:
+            single = results[0]
+            trimmed_wave = single.shadow_wave.trim_to(
+                min(mixed_audio.num_samples, single.shadow_wave.num_samples)
+            )
+            return ProtectionResult(
+                mixed_audio=mixed_audio,
+                mixed_spectrogram=single.mixed_spectrogram,
+                shadow_spectrogram=single.shadow_spectrogram,
+                shadow_wave=trimmed_wave,
+                record_spectrogram=single.record_spectrogram,
+            )
+        shadow = np.concatenate([result.shadow_wave.data for result in results])
+        shadow = shadow[: mixed_audio.num_samples]
+        mixed_spec = np.concatenate([result.mixed_spectrogram for result in results], axis=1)
+        shadow_spec = np.concatenate([result.shadow_spectrogram for result in results], axis=1)
+        record_spec = np.concatenate([result.record_spectrogram for result in results], axis=1)
+        return ProtectionResult(
+            mixed_audio=mixed_audio,
+            mixed_spectrogram=mixed_spec,
+            shadow_spectrogram=shadow_spec,
+            shadow_wave=AudioSignal(shadow, self.config.sample_rate),
+            record_spectrogram=record_spec,
+        )
+
+    # -- recording models --------------------------------------------------------
+    def superpose(
+        self,
+        mixed_audio: AudioSignal,
+        protection: Optional[ProtectionResult] = None,
+        time_offset_s: float = 0.0,
+        power_coefficient: float = 1.0,
+    ) -> AudioSignal:
+        """Ideal digital superposition of mixed audio and shadow wave (Eq. 11).
+
+        This is the recording model used by the paper's System Benchmark: the
+        shadow arrives with a configurable time/power offset but without the
+        ultrasound channel in between.
+        """
+        protection = protection if protection is not None else self.protect(mixed_audio)
+        return apply_offsets(
+            mixed_audio,
+            protection.shadow_wave,
+            time_offset_s=time_offset_s,
+            power_coefficient=power_coefficient,
+        )
+
+    def broadcast(self, protection: ProtectionResult) -> AudioSignal:
+        """AM-modulate the shadow wave onto the ultrasonic carrier."""
+        return self.speaker.broadcast(protection.shadow_wave)
+
+    def record_over_the_air(
+        self,
+        target_audio: AudioSignal,
+        background_audio: Optional[AudioSignal],
+        recorder: Recorder,
+        distance_m: float = 1.0,
+        nec_distance_m: Optional[float] = None,
+        processing_delay_s: float = 0.0,
+        enabled: bool = True,
+    ) -> AudioSignal:
+        """Record the full scene at a (simulated) smartphone.
+
+        The target speaker and the NEC ultrasonic speaker are co-located (Bob
+        carries the device, as in the paper's Fig. 12); the optional background
+        speaker is at the recorder's position (Alice records herself).  With
+        ``enabled=False`` the same scene is recorded without NEC — the "mixed"
+        baseline of the evaluation.
+        """
+        sources: List[SceneSource] = [SceneSource(target_audio, distance_m, label="target")]
+        if background_audio is not None:
+            sources.append(SceneSource(background_audio, 0.05, label="background"))
+        if enabled:
+            nec_mix = target_audio if background_audio is None else target_audio + background_audio
+            protection = self.protect(nec_mix)
+            broadcast = self.broadcast(protection)
+            sources.append(
+                SceneSource(
+                    broadcast,
+                    nec_distance_m if nec_distance_m is not None else distance_m,
+                    is_ultrasound=True,
+                    carrier_khz=self.config.carrier_khz,
+                    extra_delay_s=processing_delay_s,
+                    label="nec",
+                )
+            )
+        return recorder.record_scene(sources)

@@ -1,0 +1,139 @@
+"""The NEC Selector network (paper Fig. 7).
+
+The Selector takes the mixed magnitude spectrogram and the target speaker's
+d-vector and produces the shadow spectrogram.  The architecture follows the
+paper:
+
+1. a flat ``1 x 7`` convolution over the frequency axis (each filter spans
+   ~93 Hz at the paper geometry — enough for one formant bandwidth);
+2. a ``7 x 1`` convolution over the time axis (~115 ms — phoneme scale);
+3. a stack of ``5 x 5`` convolutions with time-axis dilation growing from 1 to
+   8, extending the receptive field to ~610 ms (a few words);
+4. a final convolution down to two channels, giving a ``(T, 2F)`` feature map;
+5. the d-vector concatenated to every time frame;
+6. two fully connected layers producing the ``(T, F)`` output.
+
+Two output heads are supported.  ``output_mode='mask'`` (default) applies a
+sigmoid and interprets the output as the fraction of each mixed time-frequency
+bin attributed to the target speaker — the shadow spectrogram is then
+``-(mask * S_mixed)``, exactly the quantity that drives the recorded
+spectrogram towards the background (Eq. 6).  ``output_mode='spectrogram'``
+reproduces the paper's literal description: an unconstrained linear output
+used directly as the (signed) shadow spectrogram.  The ablation benchmark
+compares both.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import NECConfig
+from repro.nn import Conv2d, Dense, Module, ReLU, Tensor
+
+
+class Selector(Module):
+    """CNN + FC selector producing a shadow spectrogram from (S_mixed, d-vector)."""
+
+    def __init__(self, config: NECConfig, seed: int = 0) -> None:
+        super().__init__()
+        config.validate()
+        self.config = config
+        rng = np.random.default_rng(seed)
+        channels = config.selector_channels
+        kernel = config.selector_kernel
+
+        # 1-2: the flat frequency filter and the time filter.
+        self.conv_freq = Conv2d(1, channels, (1, 7), padding=(0, 3), rng=rng)
+        self.conv_time = Conv2d(channels, channels, (7, 1), padding=(3, 0), rng=rng)
+
+        # 3: dilated 5x5 stack (dilation grows along the time axis only).
+        self.dilated = [
+            Conv2d(
+                channels,
+                channels,
+                (kernel, kernel),
+                padding=((kernel - 1) // 2 * dilation, (kernel - 1) // 2),
+                dilation=(dilation, 1),
+                rng=rng,
+            )
+            for dilation in config.selector_dilations
+        ]
+
+        # 4: reduce to two channels -> (T, 2F).
+        self.conv_out = Conv2d(channels, 2, (kernel, kernel), padding="same", rng=rng)
+
+        # 6: fully connected head over [2F features + d-vector] per frame.
+        fc_in = 2 * config.frequency_bins + config.embedding_dim
+        self.fc1 = Dense(fc_in, config.fc_hidden, rng=rng)
+        self.fc2 = Dense(config.fc_hidden, config.frequency_bins, rng=rng)
+
+    # ------------------------------------------------------------------
+    def num_conv_layers(self) -> int:
+        return 3 + len(self.dilated)
+
+    def forward(self, mixed_spectrogram: Tensor, d_vector: Tensor) -> Tensor:
+        """Selector output for a single segment.
+
+        ``mixed_spectrogram``: ``(F, T)`` magnitude spectrogram (paper Eq. 2).
+        ``d_vector``: ``(embedding_dim,)`` reference embedding.
+        Returns the raw head output of shape ``(T, F)`` — a sigmoid mask in
+        ``mask`` mode, an unconstrained spectrogram in ``spectrogram`` mode.
+        """
+        if not isinstance(mixed_spectrogram, Tensor):
+            mixed_spectrogram = Tensor(mixed_spectrogram)
+        if not isinstance(d_vector, Tensor):
+            d_vector = Tensor(d_vector)
+        freq_bins, frames = mixed_spectrogram.shape
+        if freq_bins != self.config.frequency_bins:
+            raise ValueError(
+                f"expected {self.config.frequency_bins} frequency bins, got {freq_bins}"
+            )
+
+        # Compress the dynamic range; magnitudes span several orders of magnitude.
+        compressed = (mixed_spectrogram + 1e-6).log()
+        # (F, T) -> (1, 1, T, F): time as "height", frequency as "width".
+        image = compressed.transpose(1, 0).reshape(1, 1, frames, freq_bins)
+
+        hidden = self.conv_freq(image).relu()
+        hidden = self.conv_time(hidden).relu()
+        for layer in self.dilated:
+            hidden = layer(hidden).relu()
+        features = self.conv_out(hidden).relu()  # (1, 2, T, F)
+
+        # (1, 2, T, F) -> (T, 2F)
+        features = features.transpose(0, 2, 1, 3).reshape(frames, 2 * freq_bins)
+
+        # Concatenate the d-vector to every frame.
+        tiled = Tensor(np.tile(d_vector.data.reshape(1, -1), (frames, 1)))
+        fused = Tensor.concatenate([features, tiled], axis=1)
+
+        hidden = self.fc1(fused).relu()
+        output = self.fc2(hidden)
+        if self.config.output_mode == "mask":
+            output = output.sigmoid()
+        return output  # (T, F)
+
+    # ------------------------------------------------------------------
+    def shadow_spectrogram(
+        self, mixed_spectrogram: np.ndarray, d_vector: np.ndarray
+    ) -> np.ndarray:
+        """The (signed) shadow spectrogram ``S_shadow`` of shape ``(F, T)``.
+
+        In ``mask`` mode the head output ``M`` (in [0, 1]) estimates the target
+        speaker's share of each bin, so ``S_shadow = -(M * S_mixed)``; adding it
+        to the mixed spectrogram leaves ``(1 - M) * S_mixed ~= S_bk``.  In
+        ``spectrogram`` mode the head output is used directly.
+        """
+        mixed = np.asarray(mixed_spectrogram, dtype=np.float64)
+        output = self.forward(Tensor(mixed), Tensor(np.asarray(d_vector))).data.T  # (F, T)
+        if self.config.output_mode == "mask":
+            return -(output * mixed)
+        return output
+
+    def target_estimate(
+        self, mixed_spectrogram: np.ndarray, d_vector: np.ndarray
+    ) -> np.ndarray:
+        """Estimated magnitude spectrogram of the target speaker, shape ``(F, T)``."""
+        return -self.shadow_spectrogram(mixed_spectrogram, d_vector)

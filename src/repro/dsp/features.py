@@ -1,0 +1,149 @@
+"""Frame-level features: mel filterbanks, log-mel spectrograms and MFCCs.
+
+These feed the d-vector speaker encoder (log-mel statistics) and the
+template-matching ASR substitute for Google's speech-to-text (MFCC + DTW).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.stft import magnitude_spectrogram
+from repro.dsp.windows import get_window
+
+
+def frame_signal(
+    signal: np.ndarray, frame_length: int, hop_length: int, pad: bool = False
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames, shape ``(n_frames, frame_length)``."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError("frame_signal expects a 1-D signal")
+    if frame_length <= 0 or hop_length <= 0:
+        raise ValueError("frame_length and hop_length must be positive")
+    if pad and signal.size < frame_length:
+        signal = np.pad(signal, (0, frame_length - signal.size))
+    if signal.size < frame_length:
+        return np.empty((0, frame_length))
+    count = 1 + (signal.size - frame_length) // hop_length
+    frames = np.zeros((count, frame_length))
+    for index in range(count):
+        start = index * hop_length
+        frames[index] = signal[start : start + frame_length]
+    return frames
+
+
+def preemphasis(signal: np.ndarray, coefficient: float = 0.97) -> np.ndarray:
+    """First-order pre-emphasis filter ``y[n] = x[n] - c x[n-1]``."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size == 0:
+        return signal.copy()
+    return np.concatenate([signal[:1], signal[1:] - coefficient * signal[:-1]])
+
+
+def hz_to_mel(frequency_hz: np.ndarray) -> np.ndarray:
+    """Convert Hz to mel (HTK formula)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(frequency_hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray) -> np.ndarray:
+    """Convert mel to Hz (HTK formula)."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int,
+    n_fft: int,
+    sample_rate: int,
+    low_frequency: float = 0.0,
+    high_frequency: Optional[float] = None,
+) -> np.ndarray:
+    """Triangular mel filterbank of shape ``(num_filters, n_fft // 2 + 1)``."""
+    if high_frequency is None:
+        high_frequency = sample_rate / 2.0
+    if not 0.0 <= low_frequency < high_frequency <= sample_rate / 2.0:
+        raise ValueError("invalid mel filterbank frequency range")
+    mel_points = np.linspace(
+        hz_to_mel(low_frequency), hz_to_mel(high_frequency), num_filters + 2
+    )
+    hz_points = mel_to_hz(mel_points)
+    bins = np.floor((n_fft + 1) * hz_points / sample_rate).astype(int)
+    bins = np.clip(bins, 0, n_fft // 2)
+    bank = np.zeros((num_filters, n_fft // 2 + 1))
+    for index in range(num_filters):
+        left, center, right = bins[index], bins[index + 1], bins[index + 2]
+        if center == left:
+            center = left + 1
+        if right <= center:
+            right = center + 1
+        right = min(right, n_fft // 2)
+        for k in range(left, min(center, n_fft // 2) + 1):
+            bank[index, k] = (k - left) / (center - left)
+        for k in range(center, right + 1):
+            bank[index, k] = (right - k) / (right - center)
+    return bank
+
+
+def log_mel_spectrogram(
+    signal: np.ndarray,
+    sample_rate: int,
+    num_filters: int = 40,
+    n_fft: int = 512,
+    win_length: int = 400,
+    hop_length: int = 160,
+    eps: float = 1e-10,
+) -> np.ndarray:
+    """Log-mel spectrogram, shape ``(n_frames, num_filters)``."""
+    win_length = min(win_length, n_fft)
+    spec = magnitude_spectrogram(signal, n_fft, win_length, hop_length)
+    bank = mel_filterbank(num_filters, n_fft, sample_rate)
+    mel = bank @ (spec ** 2)
+    return np.log(mel + eps).T
+
+
+def _dct_matrix(num_coefficients: int, num_filters: int) -> np.ndarray:
+    n = np.arange(num_filters)
+    matrix = np.zeros((num_coefficients, num_filters))
+    for k in range(num_coefficients):
+        matrix[k] = np.cos(np.pi * k * (2 * n + 1) / (2 * num_filters))
+    return matrix * np.sqrt(2.0 / num_filters)
+
+
+def mfcc(
+    signal: np.ndarray,
+    sample_rate: int,
+    num_coefficients: int = 13,
+    num_filters: int = 26,
+    n_fft: int = 512,
+    win_length: int = 400,
+    hop_length: int = 160,
+) -> np.ndarray:
+    """Mel-frequency cepstral coefficients, shape ``(n_frames, num_coefficients)``."""
+    log_mel = log_mel_spectrogram(
+        preemphasis(signal),
+        sample_rate,
+        num_filters=num_filters,
+        n_fft=n_fft,
+        win_length=win_length,
+        hop_length=hop_length,
+    )
+    dct = _dct_matrix(num_coefficients, num_filters)
+    return log_mel @ dct.T
+
+
+def delta_features(features: np.ndarray, width: int = 2) -> np.ndarray:
+    """First-order delta (derivative) features over time."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("delta_features expects (frames, coefficients)")
+    num_frames = features.shape[0]
+    padded = np.pad(features, ((width, width), (0, 0)), mode="edge")
+    numerator = np.zeros_like(features)
+    denominator = 2.0 * sum(d * d for d in range(1, width + 1))
+    for d in range(1, width + 1):
+        forward = padded[width + d : width + d + num_frames]
+        backward = padded[width - d : width - d + num_frames]
+        numerator += d * (forward - backward)
+    return numerator / denominator

@@ -1,0 +1,92 @@
+"""Classical filters, delays and level utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sps
+
+
+def lowpass_filter(
+    signal: np.ndarray, cutoff_hz: float, sample_rate: int, order: int = 6
+) -> np.ndarray:
+    """Butterworth low-pass filter (zero-phase).
+
+    Models the anti-aliasing low-pass inside a COTS microphone ADC, which is
+    what removes the ultrasonic carrier components after the non-linearity
+    (paper Sec. IV-C1).
+    """
+    nyquist = sample_rate / 2.0
+    if not 0 < cutoff_hz < nyquist:
+        raise ValueError(f"cutoff must be in (0, {nyquist}) Hz, got {cutoff_hz}")
+    sos = sps.butter(order, cutoff_hz / nyquist, btype="low", output="sos")
+    return sps.sosfiltfilt(sos, np.asarray(signal, dtype=np.float64))
+
+
+def highpass_filter(
+    signal: np.ndarray, cutoff_hz: float, sample_rate: int, order: int = 6
+) -> np.ndarray:
+    """Butterworth high-pass filter (zero-phase)."""
+    nyquist = sample_rate / 2.0
+    if not 0 < cutoff_hz < nyquist:
+        raise ValueError(f"cutoff must be in (0, {nyquist}) Hz, got {cutoff_hz}")
+    sos = sps.butter(order, cutoff_hz / nyquist, btype="high", output="sos")
+    return sps.sosfiltfilt(sos, np.asarray(signal, dtype=np.float64))
+
+
+def bandpass_filter(
+    signal: np.ndarray,
+    low_hz: float,
+    high_hz: float,
+    sample_rate: int,
+    order: int = 6,
+) -> np.ndarray:
+    """Butterworth band-pass filter (zero-phase)."""
+    nyquist = sample_rate / 2.0
+    if not 0 < low_hz < high_hz < nyquist:
+        raise ValueError("require 0 < low < high < Nyquist")
+    sos = sps.butter(order, [low_hz / nyquist, high_hz / nyquist], btype="band", output="sos")
+    return sps.sosfiltfilt(sos, np.asarray(signal, dtype=np.float64))
+
+
+def fractional_delay(signal: np.ndarray, delay_samples: float) -> np.ndarray:
+    """Delay a signal by a (possibly fractional) number of samples.
+
+    Integer parts are applied by shifting; the fractional remainder via linear
+    interpolation.  The output has the same length as the input (zero-padded at
+    the start), which is how the over-the-air propagation delay of the shadow
+    sound manifests at the recorder (paper Eq. 10-11).
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if delay_samples < 0:
+        raise ValueError("delay must be non-negative")
+    integer = int(np.floor(delay_samples))
+    fraction = delay_samples - integer
+    delayed = np.zeros_like(signal)
+    if integer < signal.size:
+        delayed[integer:] = signal[: signal.size - integer]
+    if fraction > 0:
+        shifted = np.zeros_like(signal)
+        if integer + 1 < signal.size:
+            shifted[integer + 1 :] = signal[: signal.size - integer - 1]
+        delayed = (1.0 - fraction) * delayed + fraction * shifted
+    return delayed
+
+
+def rms(signal: np.ndarray) -> float:
+    """Root-mean-square level of a signal."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(signal ** 2)))
+
+
+def amplitude_to_db(amplitude: float, reference: float = 1.0, floor_db: float = -120.0) -> float:
+    """Convert an amplitude ratio to decibels with a silence floor."""
+    if amplitude <= 0 or reference <= 0:
+        return floor_db
+    return max(20.0 * float(np.log10(amplitude / reference)), floor_db)
+
+
+def db_to_amplitude(decibels: float, reference: float = 1.0) -> float:
+    """Convert decibels to an amplitude ratio."""
+    return reference * float(10.0 ** (decibels / 20.0))

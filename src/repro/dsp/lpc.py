@@ -1,0 +1,75 @@
+"""Linear-predictive coding and formant estimation.
+
+The paper's observation (Fig. 3) tracks formants — vocal-tract resonances —
+across utterances.  Formants are estimated here the classical way: LPC via
+the autocorrelation method (Levinson-Durbin) followed by root finding on the
+prediction polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def lpc_coefficients(signal: np.ndarray, order: int) -> np.ndarray:
+    """LPC coefficients ``[1, a1, ..., a_order]`` via Levinson-Durbin."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError("lpc_coefficients expects a 1-D signal")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if signal.size <= order:
+        raise ValueError("signal must be longer than the LPC order")
+    autocorr = np.correlate(signal, signal, mode="full")[signal.size - 1 :]
+    error = autocorr[0]
+    if error <= 0:
+        # Silent frame: no prediction possible, return a trivial filter.
+        return np.concatenate([[1.0], np.zeros(order)])
+    coefficients = np.zeros(order + 1)
+    coefficients[0] = 1.0
+    for i in range(1, order + 1):
+        acc = autocorr[i] + np.dot(coefficients[1:i], autocorr[i - 1 : 0 : -1])
+        reflection = -acc / error
+        new = coefficients.copy()
+        new[1 : i + 1] += reflection * coefficients[i - 1 :: -1][: i]
+        coefficients = new
+        error *= 1.0 - reflection ** 2
+        if error <= 0:
+            break
+    return coefficients
+
+
+def estimate_formants(
+    signal: np.ndarray,
+    sample_rate: int,
+    num_formants: int = 3,
+    lpc_order: int | None = None,
+    min_frequency: float = 90.0,
+    min_bandwidth: float = 0.0,
+    max_bandwidth: float = 600.0,
+) -> List[Tuple[float, float]]:
+    """Estimate ``(frequency, bandwidth)`` pairs of the first formants.
+
+    Roots of the LPC polynomial that lie close to the unit circle correspond to
+    vocal-tract resonances.  Returns at most ``num_formants`` pairs sorted by
+    frequency.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if lpc_order is None:
+        lpc_order = 2 + sample_rate // 1000
+    windowed = signal * np.hamming(signal.size)
+    coefficients = lpc_coefficients(windowed, lpc_order)
+    roots = np.roots(coefficients)
+    roots = roots[np.imag(roots) >= 0.0]
+    formants: List[Tuple[float, float]] = []
+    for root in roots:
+        if np.abs(root) < 1e-8:
+            continue
+        frequency = np.angle(root) * sample_rate / (2.0 * np.pi)
+        bandwidth = -0.5 * sample_rate / np.pi * np.log(np.abs(root) + 1e-12)
+        if frequency >= min_frequency and min_bandwidth <= bandwidth <= max_bandwidth:
+            formants.append((float(frequency), float(bandwidth)))
+    formants.sort(key=lambda pair: pair[0])
+    return formants[:num_formants]

@@ -1,0 +1,164 @@
+"""Short-time Fourier transform and inverse, matching the paper's geometry.
+
+The paper (Sec. IV-B1) uses 3-second 16 kHz clips, an FFT size of 1200
+(601 frequency bins), a Hann window of 400 samples and a hop of 160 samples.
+:func:`stft` / :func:`istft` implement exactly that framing (no centre
+padding), and :func:`spectrogram_shape` reports the resulting ``(F, T)``
+shape so that models can be built against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.windows import get_window
+
+
+def _frame_starts(num_samples: int, win_length: int, hop_length: int) -> np.ndarray:
+    if num_samples < win_length:
+        return np.array([0], dtype=int)
+    count = 1 + (num_samples - win_length) // hop_length
+    return np.arange(count) * hop_length
+
+
+def stft(
+    signal: np.ndarray,
+    n_fft: int = 1200,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+) -> np.ndarray:
+    """Complex STFT of a 1-D signal, shape ``(n_fft // 2 + 1, n_frames)``."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError("stft expects a 1-D signal")
+    if win_length > n_fft:
+        raise ValueError("win_length must be <= n_fft")
+    win = get_window(window, win_length)
+    starts = _frame_starts(signal.size, win_length, hop_length)
+    frames = np.zeros((starts.size, win_length))
+    for index, start in enumerate(starts):
+        chunk = signal[start : start + win_length]
+        frames[index, : chunk.size] = chunk
+    frames = frames * win
+    spectrum = np.fft.rfft(frames, n=n_fft, axis=1)
+    return spectrum.T  # (freq_bins, frames)
+
+
+def magnitude(spectrum: np.ndarray) -> np.ndarray:
+    """Magnitude of a complex STFT."""
+    return np.abs(spectrum)
+
+
+def magnitude_spectrogram(
+    signal: np.ndarray,
+    n_fft: int = 1200,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+) -> np.ndarray:
+    """Magnitude spectrogram ``|STFT|`` with shape ``(F, T)`` (paper Eq. 2)."""
+    return magnitude(stft(signal, n_fft, win_length, hop_length, window))
+
+
+def spectrogram_shape(
+    num_samples: int,
+    n_fft: int = 1200,
+    win_length: int = 400,
+    hop_length: int = 160,
+) -> Tuple[int, int]:
+    """``(frequency_bins, frames)`` produced by :func:`stft` for this input size."""
+    frames = _frame_starts(num_samples, win_length, hop_length).size
+    return n_fft // 2 + 1, frames
+
+
+def istft(
+    spectrum: np.ndarray,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+    length: Optional[int] = None,
+) -> np.ndarray:
+    """Inverse STFT via windowed overlap-add.
+
+    ``spectrum`` is a complex array of shape ``(n_fft // 2 + 1, n_frames)``
+    as produced by :func:`stft`.
+    """
+    spectrum = np.asarray(spectrum)
+    if spectrum.ndim != 2:
+        raise ValueError("istft expects a (F, T) spectrum")
+    n_fft = (spectrum.shape[0] - 1) * 2
+    frames = np.fft.irfft(spectrum.T, n=n_fft, axis=1)[:, :win_length]
+    win = get_window(window, win_length)
+    num_frames = frames.shape[0]
+    expected = win_length + hop_length * (num_frames - 1)
+    output = np.zeros(expected)
+    norm = np.zeros(expected)
+    for index in range(num_frames):
+        start = index * hop_length
+        output[start : start + win_length] += frames[index] * win
+        norm[start : start + win_length] += win ** 2
+    # Only normalise where the window sum carries real weight; at the very
+    # edges the sum tends to zero and dividing there would blow up the first
+    # and last few samples into spikes.
+    safe = norm > max(norm.max() * 1e-2, 1e-10)
+    output[safe] /= norm[safe]
+    if length is not None:
+        if length <= expected:
+            output = output[:length]
+        else:
+            output = np.pad(output, (0, length - expected))
+    return output
+
+
+def reconstruct_waveform(
+    magnitude_spec: np.ndarray,
+    phase_reference: np.ndarray,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+    length: Optional[int] = None,
+) -> np.ndarray:
+    """Waveform from a magnitude spectrogram and a reference complex STFT.
+
+    The NEC Selector outputs a magnitude-only shadow spectrogram; to broadcast
+    it we attach the phase of the mixed recording (the same strategy used by
+    masking-based separators such as VoiceFilter) and invert.
+    """
+    magnitude_spec = np.asarray(magnitude_spec, dtype=np.float64)
+    phase_reference = np.asarray(phase_reference)
+    if magnitude_spec.shape != phase_reference.shape:
+        raise ValueError(
+            "magnitude and phase reference must have the same shape, got "
+            f"{magnitude_spec.shape} vs {phase_reference.shape}"
+        )
+    phase = np.exp(1j * np.angle(phase_reference))
+    return istft(magnitude_spec * phase, win_length, hop_length, window, length=length)
+
+
+def griffin_lim(
+    magnitude_spec: np.ndarray,
+    n_iterations: int = 30,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+    length: Optional[int] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Griffin-Lim phase reconstruction for magnitude-only spectrograms."""
+    magnitude_spec = np.asarray(magnitude_spec, dtype=np.float64)
+    n_fft = (magnitude_spec.shape[0] - 1) * 2
+    rng = np.random.default_rng(seed)
+    angles = np.exp(2j * np.pi * rng.random(magnitude_spec.shape))
+    for _ in range(max(n_iterations, 1)):
+        wave = istft(magnitude_spec * angles, win_length, hop_length, window, length=length)
+        rebuilt = stft(wave, n_fft, win_length, hop_length, window)
+        if rebuilt.shape[1] < magnitude_spec.shape[1]:
+            pad = magnitude_spec.shape[1] - rebuilt.shape[1]
+            rebuilt = np.pad(rebuilt, ((0, 0), (0, pad)))
+        elif rebuilt.shape[1] > magnitude_spec.shape[1]:
+            rebuilt = rebuilt[:, : magnitude_spec.shape[1]]
+        angles = np.exp(1j * np.angle(rebuilt + 1e-12))
+    return istft(magnitude_spec * angles, win_length, hop_length, window, length=length)

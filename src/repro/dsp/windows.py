@@ -1,0 +1,48 @@
+"""Analysis windows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Periodic Hann window (the ``W[n-m]`` of the paper's Eq. 2)."""
+    if length <= 0:
+        raise ValueError("window length must be positive")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / length)
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Periodic Hamming window."""
+    if length <= 0:
+        raise ValueError("window length must be positive")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / length)
+
+
+def rectangular_window(length: int) -> np.ndarray:
+    """Rectangular (boxcar) window."""
+    if length <= 0:
+        raise ValueError("window length must be positive")
+    return np.ones(length)
+
+
+_WINDOWS = {
+    "hann": hann_window,
+    "hamming": hamming_window,
+    "rectangular": rectangular_window,
+    "boxcar": rectangular_window,
+}
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Look up a window function by name."""
+    try:
+        return _WINDOWS[name](length)
+    except KeyError as exc:
+        raise ValueError(f"Unknown window '{name}'; choose from {sorted(_WINDOWS)}") from exc

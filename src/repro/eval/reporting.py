@@ -1,0 +1,49 @@
+"""Plain-text reporting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with aligned columns."""
+    rows = [[_to_text(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "+".join("-" * (width + 2) for width in widths)
+    line = f"+{line}+"
+    header_row = "|" + "|".join(
+        f" {header.ljust(width)} " for header, width in zip(headers, widths)
+    ) + "|"
+    body = [
+        "|" + "|".join(f" {cell.ljust(width)} " for cell, width in zip(row, widths)) + "|"
+        for row in rows
+    ]
+    return "\n".join([line, header_row, line, *body, line])
+
+
+def _to_text(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Median / mean / min / max summary of a metric series."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("summarize() needs at least one value")
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        return {"median": float("nan"), "mean": float("nan"), "min": float("nan"), "max": float("nan")}
+    return {
+        "median": float(np.median(finite)),
+        "mean": float(np.mean(finite)),
+        "min": float(np.min(finite)),
+        "max": float(np.max(finite)),
+    }

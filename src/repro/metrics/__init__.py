@@ -1,0 +1,29 @@
+"""Evaluation metrics used throughout the paper's evaluation section.
+
+* :func:`sdr` — Source-to-Distortion Ratio (projection-based, as in BSS-eval);
+* :func:`cosine_distance` — waveform cosine distance (Fig. 9c);
+* :func:`sonr` — Sound-to-Noise ratio between a mixture and the target's
+  contribution (Fig. 15b);
+* :func:`word_error_rate` — WER against a reference transcript (Fig. 11);
+* :class:`ReviewerPanel` — the simulated 10-reviewer User Rating Score panel
+  (Fig. 13).
+"""
+
+from repro.metrics.sdr import sdr, si_sdr, energy_ratio_db
+from repro.metrics.cosine import cosine_similarity, cosine_distance
+from repro.metrics.sonr import sonr
+from repro.metrics.wer import word_error_rate, levenshtein_distance
+from repro.metrics.urs import ReviewerPanel, user_rating_scores
+
+__all__ = [
+    "sdr",
+    "si_sdr",
+    "energy_ratio_db",
+    "cosine_similarity",
+    "cosine_distance",
+    "sonr",
+    "word_error_rate",
+    "levenshtein_distance",
+    "ReviewerPanel",
+    "user_rating_scores",
+]

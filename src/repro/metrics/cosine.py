@@ -1,0 +1,29 @@
+"""Cosine similarity / distance between waveforms or feature vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> float:
+    """Cosine similarity of two vectors, truncated to the common length."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    length = min(a.size, b.size)
+    if length == 0:
+        raise ValueError("cosine similarity requires non-empty inputs")
+    a = a[:length]
+    b = b[:length]
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom < eps:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """``1 - |cosine similarity|`` (the distance plotted in the paper's Fig. 9c).
+
+    The absolute value makes the distance insensitive to an overall sign flip,
+    which can be introduced by the recording chain.
+    """
+    return 1.0 - abs(cosine_similarity(a, b))

@@ -1,0 +1,52 @@
+"""Source-to-Distortion Ratio (SDR) metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_aligned(reference: np.ndarray, estimate: np.ndarray) -> tuple:
+    reference = np.asarray(reference, dtype=np.float64).reshape(-1)
+    estimate = np.asarray(estimate, dtype=np.float64).reshape(-1)
+    length = min(reference.size, estimate.size)
+    if length == 0:
+        raise ValueError("SDR requires non-empty signals")
+    return reference[:length], estimate[:length]
+
+
+def sdr(reference: np.ndarray, estimate: np.ndarray, eps: float = 1e-12) -> float:
+    """Projection-based SDR in dB (Vincent et al., 2006 style).
+
+    The estimate is decomposed into a component along the reference (the
+    "target" part) and an orthogonal error; SDR is their energy ratio.  Higher
+    means the estimate preserves the reference better.  In the paper's
+    evaluation SDR is computed between a recorded audio and a ground-truth
+    source: it should be *low* when NEC hides Bob (Bob's voice is gone from
+    the recording) and *high* for Alice (her voice is retained).
+    """
+    reference, estimate = _as_aligned(reference, estimate)
+    reference_energy = float(np.dot(reference, reference))
+    if reference_energy < eps:
+        return -np.inf
+    projection = (np.dot(estimate, reference) / reference_energy) * reference
+    error = estimate - projection
+    target_energy = float(np.dot(projection, projection))
+    error_energy = float(np.dot(error, error))
+    return 10.0 * float(np.log10((target_energy + eps) / (error_energy + eps)))
+
+
+def si_sdr(reference: np.ndarray, estimate: np.ndarray, eps: float = 1e-12) -> float:
+    """Scale-invariant SDR; both signals are mean-removed first."""
+    reference, estimate = _as_aligned(reference, estimate)
+    reference = reference - reference.mean()
+    estimate = estimate - estimate.mean()
+    return sdr(reference, estimate, eps=eps)
+
+
+def energy_ratio_db(numerator: np.ndarray, denominator: np.ndarray, eps: float = 1e-12) -> float:
+    """Plain energy ratio in dB between two signals."""
+    numerator = np.asarray(numerator, dtype=np.float64)
+    denominator = np.asarray(denominator, dtype=np.float64)
+    num = float(np.sum(numerator**2))
+    den = float(np.sum(denominator**2))
+    return 10.0 * float(np.log10((num + eps) / (den + eps)))

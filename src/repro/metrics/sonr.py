@@ -1,0 +1,29 @@
+"""Sound-to-Noise Ratio (SONR) — the paper's Fig. 15(b) metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sonr(mixed: np.ndarray, target_component: np.ndarray, eps: float = 1e-12) -> float:
+    """Power ratio (dB) between the recorded mixture and the target's share.
+
+    The paper treats the full recorded audio as the useful sound and the
+    target speaker's (Bob's) recorded contribution as the "noise" whose
+    proportion should be small: ``SONR = 10 log10(P_mixed / P_target)``.
+    A higher SONR means less of Bob remains relative to everything else in
+    the recording — deploying NEC raises it because the shadow overshadows
+    Bob's share.
+    """
+    mixed = np.asarray(mixed, dtype=np.float64).reshape(-1)
+    target_component = np.asarray(target_component, dtype=np.float64).reshape(-1)
+    length = min(mixed.size, target_component.size)
+    if length == 0:
+        raise ValueError("SONR requires non-empty signals")
+    mixed = mixed[:length]
+    target_component = target_component[:length]
+    target_power = float(np.dot(target_component, target_component))
+    total_power = float(np.dot(mixed, mixed))
+    if target_power < eps:
+        return np.inf
+    return 10.0 * float(np.log10((total_power + eps) / (target_power + eps)))

@@ -1,0 +1,48 @@
+"""Word Error Rate and Levenshtein distance."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Words = Union[str, Sequence[str]]
+
+
+def _tokenize(text: Words) -> List[str]:
+    if isinstance(text, str):
+        return text.lower().split()
+    return [str(token).lower() for token in text]
+
+
+def levenshtein_distance(reference: Sequence[str], hypothesis: Sequence[str]) -> int:
+    """Minimum number of substitutions, insertions and deletions."""
+    reference = list(reference)
+    hypothesis = list(hypothesis)
+    rows = len(reference) + 1
+    cols = len(hypothesis) + 1
+    distance = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        distance[i][0] = i
+    for j in range(cols):
+        distance[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            substitution_cost = 0 if reference[i - 1] == hypothesis[j - 1] else 1
+            distance[i][j] = min(
+                distance[i - 1][j] + 1,           # deletion
+                distance[i][j - 1] + 1,           # insertion
+                distance[i - 1][j - 1] + substitution_cost,
+            )
+    return distance[-1][-1]
+
+
+def word_error_rate(reference: Words, hypothesis: Words) -> float:
+    """WER = edit distance / reference length.
+
+    Like the paper (which reports WER up to 200%), the value is not clipped at
+    1.0: heavy insertion errors can push it above 100%.
+    """
+    reference_tokens = _tokenize(reference)
+    hypothesis_tokens = _tokenize(hypothesis)
+    if not reference_tokens:
+        raise ValueError("reference transcript is empty")
+    return levenshtein_distance(reference_tokens, hypothesis_tokens) / len(reference_tokens)

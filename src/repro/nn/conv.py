@@ -1,0 +1,98 @@
+"""2-D convolution with dilation, implemented via im2col."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, conv_output_size
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(N, C, H, W)`` inputs.
+
+    Supports per-axis kernel sizes, dilation and zero padding — everything the
+    NEC Selector architecture (flat 1x7 / 7x1 filters, dilated 5x5 filters)
+    requires.  ``padding='same'`` keeps the spatial size for stride 1.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: int = 1,
+        padding: Union[str, IntPair] = 0,
+        dilation: IntPair = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = stride
+        self.dilation = _pair(dilation)
+        if padding == "same":
+            if stride != 1:
+                raise ValueError("padding='same' requires stride=1")
+            kh_eff = (self.kernel_size[0] - 1) * self.dilation[0] + 1
+            kw_eff = (self.kernel_size[1] - 1) * self.dilation[1] + 1
+            if kh_eff % 2 == 0 or kw_eff % 2 == 0:
+                raise ValueError("padding='same' requires odd effective kernel size")
+            self.padding = (kh_eff // 2, kw_eff // 2)
+        else:
+            self.padding = _pair(padding)  # type: ignore[arg-type]
+
+        kh, kw = self.kernel_size
+        fan_in = in_channels * kh * kw
+        bound = np.sqrt(6.0 / max(fan_in, 1))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(out_channels, in_channels, kh, kw)),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_channels), requires_grad=True, name="bias")
+            if bias
+            else None
+        )
+
+    def output_size(self, height: int, width: int) -> Tuple[int, int]:
+        return conv_output_size(
+            height,
+            width,
+            self.kernel_size,
+            stride=self.stride,
+            dilation=self.dilation,
+            padding=self.padding,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError("Conv2d expects (N, C, H, W) input")
+        n, _, h, w = x.shape
+        out_h, out_w = self.output_size(h, w)
+        cols = x.im2col(
+            self.kernel_size,
+            stride=self.stride,
+            dilation=self.dilation,
+            padding=self.padding,
+        )  # (N, C*kh*kw, out_h*out_w)
+        kh, kw = self.kernel_size
+        weight_matrix = self.weight.reshape(self.out_channels, self.in_channels * kh * kw)
+        out = weight_matrix @ cols  # (N, out_channels, out_h*out_w) via broadcasting
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_channels, 1)
+        return out.reshape(n, self.out_channels, out_h, out_w)

@@ -1,0 +1,55 @@
+"""Numerical gradient checking utilities (used by the test-suite)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``func()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = float(func().data)
+        flat[index] = original - eps
+        minus = float(func().data)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    func: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    eps: float = 1e-6,
+    tolerance: float = 1e-4,
+) -> bool:
+    """Compare autograd gradients against numerical ones for each tensor.
+
+    Returns ``True`` when every gradient matches within ``tolerance`` (relative
+    on the larger scales, absolute near zero).  Raises ``AssertionError`` with
+    a diagnostic message otherwise.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = func()
+    loss.backward()
+    for position, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, tensor, eps=eps)
+        denom = np.maximum(np.abs(analytic) + np.abs(numeric), 1.0)
+        error = np.max(np.abs(analytic - numeric) / denom)
+        if error > tolerance:
+            raise AssertionError(
+                f"Gradient mismatch for tensor #{position}: max relative error {error:.3e}"
+            )
+    return True

@@ -1,0 +1,295 @@
+"""Neural-network layers used by the NEC models and baselines."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, mirroring the convention of mainstream frameworks.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter / module discovery ----------------------------------
+    def parameters(self) -> List[Tensor]:
+        """All trainable parameters of this module and its children."""
+        params: List[Tensor] = []
+        seen: set[int] = set()
+        for _, tensor in self.named_parameters():
+            if id(tensor) not in seen:
+                seen.add(id(tensor))
+                params.append(tensor)
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{index}")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{full}.{index}", item
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Non-trainable state (e.g. batch-norm running statistics)."""
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            if isinstance(value, Module):
+                yield from value.named_buffers(full)
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_buffers(f"{full}.{index}")
+        for name in getattr(self, "_buffers", ()):  # type: ignore[attr-defined]
+            full = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            yield full, getattr(self, name)
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).items():
+            pass
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- train / eval ----------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- forward ---------------------------------------------------------
+    def forward(self, *args, **kwargs) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+
+def _kaiming_uniform(rng: np.random.Generator, fan_in: int, shape: Tuple[int, ...]) -> np.ndarray:
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+class Dense(Module):
+    """Fully connected layer ``y = x W + b`` applied to the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            _kaiming_uniform(rng, in_features, (in_features, out_features)),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True, name="bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Flatten(Module):
+    """Flatten every axis except the leading (batch) axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when the module is in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class ZeroPad2d(Module):
+    """Zero padding for ``(N, C, H, W)`` tensors: ``(pad_h, pad_w)`` per side."""
+
+    def __init__(self, padding: Tuple[int, int]) -> None:
+        super().__init__()
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        pad_h, pad_w = self.padding
+        return x.pad(((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the leading axis of ``(N, F)`` inputs."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(np.ones(num_features), requires_grad=True, name="gamma")
+        self.beta = Tensor(np.zeros(num_features), requires_grad=True, name="beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._buffers = ("running_mean", "running_var")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=0)
+            var = x.data.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+            mean_t = x.mean(axis=0, keepdims=True)
+            centered = x - mean_t
+            var_t = (centered * centered).mean(axis=0, keepdims=True)
+            normed = centered / ((var_t + self.eps) ** 0.5)
+        else:
+            normed = (x - Tensor(self.running_mean)) / Tensor(
+                np.sqrt(self.running_var + self.eps)
+            )
+        return normed * self.gamma + self.beta
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation for ``(N, C, H, W)`` inputs (per-channel)."""
+
+    def __init__(self, num_channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_channels = num_channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(np.ones((1, num_channels, 1, 1)), requires_grad=True, name="gamma")
+        self.beta = Tensor(np.zeros((1, num_channels, 1, 1)), requires_grad=True, name="beta")
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self._buffers = ("running_mean", "running_var")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+            mean_t = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean_t
+            var_t = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            normed = centered / ((var_t + self.eps) ** 0.5)
+        else:
+            shape = (1, self.num_channels, 1, 1)
+            normed = (x - Tensor(self.running_mean.reshape(shape))) / Tensor(
+                np.sqrt(self.running_var.reshape(shape) + self.eps)
+            )
+        return normed * self.gamma + self.beta
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Tensor(np.ones(num_features), requires_grad=True, name="gamma")
+        self.beta = Tensor(np.zeros(num_features), requires_grad=True, name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / ((var + self.eps) ** 0.5)
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Compose layers in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,88 @@
+"""Recurrent layers (LSTM) used by the VoiceFilter baseline."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class LSTMCell(Module):
+    """A single LSTM cell operating on ``(N, input_size)`` inputs."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.weight_ih = Tensor(
+            rng.uniform(-scale, scale, size=(input_size, 4 * hidden_size)),
+            requires_grad=True,
+            name="weight_ih",
+        )
+        self.weight_hh = Tensor(
+            rng.uniform(-scale, scale, size=(hidden_size, 4 * hidden_size)),
+            requires_grad=True,
+            name="weight_hh",
+        )
+        bias = np.zeros(4 * hidden_size)
+        # Positive forget-gate bias, the standard initialisation trick.
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Tensor(bias, requires_grad=True, name="bias")
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f_gate * c_prev + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros)
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over ``(N, T, input_size)`` sequences."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
+    ) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError("LSTM expects (N, T, F) input")
+        batch, steps, _ = x.shape
+        if state is None:
+            state = self.cell.initial_state(batch)
+        outputs = []
+        for t in range(steps):
+            frame = x[:, t, :]
+            h, c = self.cell(frame, state)
+            state = (h, c)
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1)

@@ -1,0 +1,72 @@
+"""Model parameter (de)serialisation to ``.npz`` files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+PathLike = Union[str, Path]
+
+
+def state_dict(model: Module) -> Dict[str, np.ndarray]:
+    """Collect parameters and buffers keyed by their attribute path."""
+    state: Dict[str, np.ndarray] = {}
+    for name, parameter in model.named_parameters():
+        state[f"param:{name}"] = np.array(parameter.data, copy=True)
+    for name, buffer in model.named_buffers():
+        state[f"buffer:{name}"] = np.array(buffer, copy=True)
+    return state
+
+
+def load_state_dict(model: Module, state: Dict[str, np.ndarray]) -> None:
+    """Load a state dict produced by :func:`state_dict` into ``model``."""
+    parameters = dict(model.named_parameters())
+    for key, value in state.items():
+        kind, _, name = key.partition(":")
+        if kind == "param":
+            if name not in parameters:
+                raise KeyError(f"Unknown parameter in state dict: {name}")
+            target = parameters[name]
+            if target.data.shape != value.shape:
+                raise ValueError(
+                    f"Shape mismatch for parameter {name}: "
+                    f"model {target.data.shape} vs saved {value.shape}"
+                )
+            target.data = np.array(value, copy=True)
+        elif kind == "buffer":
+            _assign_buffer(model, name, value)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"Malformed state dict key: {key}")
+
+
+def _assign_buffer(model: Module, dotted: str, value: np.ndarray) -> None:
+    parts = dotted.split(".")
+    target = model
+    for part in parts[:-1]:
+        if part.isdigit():
+            target = target[int(part)] if not isinstance(target, Module) else getattr(target, "layers")[int(part)]
+        else:
+            target = getattr(target, part)
+    setattr(target, parts[-1], np.array(value, copy=True))
+
+
+def save_model(model: Module, path: PathLike) -> Path:
+    """Save model parameters/buffers to an ``.npz`` file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state_dict(model))
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(model: Module, path: PathLike) -> Module:
+    """Load parameters saved by :func:`save_model` into ``model`` in place."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        load_state_dict(model, {key: archive[key] for key in archive.files})
+    return model

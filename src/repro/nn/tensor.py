@@ -1,0 +1,567 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations applied
+to it.  Calling :meth:`Tensor.backward` on a scalar result propagates
+gradients back to every tensor created with ``requires_grad=True``.
+
+The operation set is intentionally small: it is exactly what the NEC Selector,
+the d-vector encoder and the VoiceFilter baseline need (element-wise
+arithmetic, matmul, reductions, reshaping, concatenation, slicing and the
+usual activations).  Convolution is implemented in :mod:`repro.nn.conv` on top
+of the :func:`Tensor.im2col` primitive defined here.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient tracking (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def grad_enabled() -> bool:
+    """Return whether gradient tracking is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad_self = np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data
+                else:
+                    grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.outer(self.data, grad)
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is None:
+                expanded = np.broadcast_to(g, self.shape)
+            else:
+                if not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                expanded = np.broadcast_to(g, self.shape)
+            self._accumulate(expanded.astype(np.float64))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is None:
+                mask = (self.data == out_data).astype(np.float64)
+                mask /= mask.sum()
+                self._accumulate(mask * g)
+            else:
+                expanded_out = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+                g_expanded = g if keepdims else np.expand_dims(g, axis=axis)
+                mask = (self.data == expanded_out).astype(np.float64)
+                mask /= mask.sum(axis=axis, keepdims=True)
+                self._accumulate(mask * g_expanded)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad the tensor; ``pad_width`` follows ``numpy.pad`` semantics."""
+        out_data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(before, before + dim)
+            for (before, _after), dim in zip(pad_width, self.shape)
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad[slices])
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Activations / elementwise functions
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -700.0, 700.0))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self, eps: float = 1e-12) -> "Tensor":
+        out_data = np.log(self.data + eps)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / (self.data + eps))
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - self.max(axis=axis, keepdims=True).detach()
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # Structural ops
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._ensure(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._ensure(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+            out._backward = backward
+        return out
+
+    def im2col(
+        self,
+        kernel_size: Tuple[int, int],
+        stride: int = 1,
+        dilation: Tuple[int, int] = (1, 1),
+        padding: Tuple[int, int] = (0, 0),
+    ) -> "Tensor":
+        """Unfold a ``(N, C, H, W)`` tensor into convolution columns.
+
+        Returns a tensor of shape ``(N, C*kh*kw, out_h*out_w)``.  The output
+        spatial size is available via :func:`conv_output_size`.
+        """
+        if self.ndim != 4:
+            raise ValueError("im2col expects a 4-D (N, C, H, W) tensor")
+        n, c, h, w = self.shape
+        kh, kw = kernel_size
+        dil_h, dil_w = dilation
+        pad_h, pad_w = padding
+        k, i, j, out_h, out_w = _im2col_indices(
+            c, h, w, kh, kw, stride, dil_h, dil_w, pad_h, pad_w
+        )
+        padded = np.pad(
+            self.data, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w))
+        )
+        cols = padded[:, k, i, j]
+
+        def backward(grad: np.ndarray) -> None:
+            padded_grad = np.zeros(
+                (n, c, h + 2 * pad_h, w + 2 * pad_w), dtype=np.float64
+            )
+            np.add.at(padded_grad, (slice(None), k, i, j), grad)
+            if pad_h or pad_w:
+                padded_grad = padded_grad[
+                    :, :, pad_h : pad_h + h, pad_w : pad_w + w
+                ]
+            self._accumulate(padded_grad)
+
+        return self._make(cols, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        ordering: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen_on_stack = {id(node)}
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and id(parent) not in seen_on_stack:
+                        stack.append((parent, iter(parent._parents)))
+                        seen_on_stack.add(id(parent))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    visited.add(id(current))
+                    ordering.append(current)
+
+        visit(self)
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(ordering):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+
+def _im2col_indices(
+    channels: int,
+    height: int,
+    width: int,
+    kh: int,
+    kw: int,
+    stride: int,
+    dil_h: int,
+    dil_w: int,
+    pad_h: int,
+    pad_w: int,
+):
+    """Index arrays for im2col with dilation (cs231n-style)."""
+    kh_eff = (kh - 1) * dil_h + 1
+    kw_eff = (kw - 1) * dil_w + 1
+    out_h = (height + 2 * pad_h - kh_eff) // stride + 1
+    out_w = (width + 2 * pad_w - kw_eff) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"Convolution output would be empty: input {height}x{width}, "
+            f"kernel {kh}x{kw}, dilation ({dil_h},{dil_w}), padding ({pad_h},{pad_w})"
+        )
+    i0 = np.repeat(np.arange(kh) * dil_h, kw)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw) * dil_w, kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def conv_output_size(
+    height: int,
+    width: int,
+    kernel_size: Tuple[int, int],
+    stride: int = 1,
+    dilation: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> Tuple[int, int]:
+    """Spatial output size of a 2-D convolution."""
+    kh, kw = kernel_size
+    kh_eff = (kh - 1) * dilation[0] + 1
+    kw_eff = (kw - 1) * dilation[1] + 1
+    out_h = (height + 2 * padding[0] - kh_eff) // stride + 1
+    out_w = (width + 2 * padding[1] - kw_eff) // stride + 1
+    return out_h, out_w

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test-suite.
+
+Everything here uses the ``tiny`` NEC geometry so the whole suite runs in a
+couple of minutes on the numpy substrate; the full paper geometry is exercised
+separately by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audio.corpus import SyntheticCorpus
+from repro.core.config import NECConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> NECConfig:
+    return NECConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def corpus(tiny_config: NECConfig) -> SyntheticCorpus:
+    """A small shared corpus at the tiny geometry's sample rate."""
+    return SyntheticCorpus(num_speakers=6, sample_rate=tiny_config.sample_rate, seed=7)
+
+
+@pytest.fixture(scope="session")
+def corpus_16k() -> SyntheticCorpus:
+    """A small corpus at the paper's 16 kHz sample rate (for DSP/ASR tests)."""
+    return SyntheticCorpus(num_speakers=4, sample_rate=16000, seed=11)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,97 @@
+"""Tests for the speech-recognition substitute (segmentation, DTW, recogniser)."""
+
+import numpy as np
+import pytest
+
+from repro.asr import TemplateRecognizer, dtw_distance, segment_words
+from repro.audio import SyntheticCorpus
+
+
+@pytest.fixture(scope="module")
+def recognizer():
+    """A small-vocabulary recogniser shared across tests (enrollment is costly)."""
+    vocabulary = [
+        "hot", "coffee", "me", "bring", "please", "snack", "a", "and",
+        "the", "water", "is", "cold", "today", "very",
+    ]
+    return TemplateRecognizer(sample_rate=16000, vocabulary=vocabulary, seed=0)
+
+
+class TestDTW:
+    def test_identical_sequences_have_zero_distance(self):
+        sequence = np.random.default_rng(0).normal(size=(20, 5))
+        assert dtw_distance(sequence, sequence) == pytest.approx(0.0, abs=1e-6)
+
+    def test_time_warped_sequence_is_close(self):
+        base = np.sin(np.linspace(0, 6, 40))[:, None]
+        stretched = np.sin(np.linspace(0, 6, 60))[:, None]
+        different = np.cos(np.linspace(0, 20, 40))[:, None]
+        assert dtw_distance(base, stretched) < dtw_distance(base, different)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((5, 3)), np.zeros((5, 4)))
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((0, 3)), np.zeros((5, 3)))
+
+
+class TestSegmentation:
+    def test_detects_two_bursts(self):
+        sr = 16000
+        silence = np.zeros(sr // 4)
+        burst = 0.5 * np.sin(2 * np.pi * 500 * np.arange(sr // 5) / sr)
+        signal = np.concatenate([silence, burst, silence, burst, silence])
+        segments = segment_words(signal, sr)
+        assert len(segments) == 2
+
+    def test_silence_has_no_segments(self):
+        assert segment_words(np.zeros(16000), 16000) == []
+
+    def test_empty_signal(self):
+        assert segment_words(np.array([]), 16000) == []
+
+    def test_segments_are_ordered_and_disjoint(self):
+        corpus = SyntheticCorpus(num_speakers=2, seed=0)
+        audio = corpus.utterance("spk000", text="please bring me hot coffee and a snack").audio
+        segments = segment_words(audio.data, corpus.sample_rate)
+        assert segments == sorted(segments)
+        for (s1, e1), (s2, _e2) in zip(segments, segments[1:]):
+            assert e1 <= s2
+
+
+class TestRecognizer:
+    def test_clean_speech_has_low_wer(self, recognizer):
+        corpus = SyntheticCorpus(num_speakers=3, seed=5)
+        text = "please bring me hot coffee and a snack"
+        audio = corpus.utterance("spk001", text=text).audio
+        assert recognizer.wer(audio, text) <= 0.5
+
+    def test_overlapped_speech_has_higher_wer(self, recognizer):
+        """Two simultaneous speakers confuse the recogniser — as with Google's API."""
+        corpus = SyntheticCorpus(num_speakers=3, seed=5)
+        text = "please bring me hot coffee and a snack"
+        clean = corpus.utterance("spk001", text=text).audio
+        other = corpus.utterance("spk002", text="the water is very cold today").audio
+        mixed = clean + other
+        assert recognizer.wer(mixed, text) >= recognizer.wer(clean, text)
+
+    def test_noise_only_audio_yields_mostly_oov_or_insertions(self, recognizer):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(scale=0.3, size=16000)
+        result = recognizer.transcribe(noise)
+        # Whatever is decoded from pure noise must not be a clean sentence.
+        assert all(word == recognizer.OOV_TOKEN for word in result.words) or len(result.words) < 4
+
+    def test_transcription_result_text_and_wer(self, recognizer):
+        corpus = SyntheticCorpus(num_speakers=2, seed=5)
+        text = "the water is very cold today"
+        result = recognizer.transcribe(corpus.utterance("spk000", text=text).audio)
+        assert isinstance(result.text, str)
+        assert result.wer(text) >= 0.0
+
+    def test_sample_rate_mismatch_raises(self, recognizer):
+        corpus = SyntheticCorpus(num_speakers=2, sample_rate=8000, seed=5)
+        with pytest.raises(ValueError):
+            recognizer.transcribe(corpus.utterance("spk000").audio)

@@ -1,0 +1,262 @@
+"""Tests for the audio substrate: signals, synthesis, corpus, noises, mixing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import (
+    AudioSignal,
+    LEXICON,
+    NOISE_SCENARIOS,
+    PHONEME_INVENTORY,
+    SENTENCES,
+    SpeakerProfile,
+    SyntheticCorpus,
+    VoiceSynthesizer,
+    babble_noise,
+    factory_noise,
+    joint_conversation,
+    mix_at_snr,
+    mix_signals,
+    noise_by_name,
+    random_sentence,
+    random_speaker_profile,
+    sentence_words,
+    vehicle_noise,
+    white_noise,
+    word_to_phonemes,
+)
+from repro.dsp import las_correlation
+from repro.dsp.stft import magnitude_spectrogram
+
+
+class TestAudioSignal:
+    def test_duration_and_rms(self):
+        signal = AudioSignal(0.5 * np.ones(8000), 16000)
+        assert signal.duration == pytest.approx(0.5)
+        assert signal.rms() == pytest.approx(0.5)
+
+    def test_normalize_peak(self):
+        signal = AudioSignal(np.array([0.1, -0.2, 0.05]), 16000).normalize(0.9)
+        assert signal.peak() == pytest.approx(0.9)
+
+    def test_scale_to_db(self):
+        signal = AudioSignal(np.random.default_rng(0).normal(size=1000), 16000)
+        assert signal.scale_to_db(-20.0).rms_db() == pytest.approx(-20.0, abs=1e-6)
+
+    def test_fit_to_pads_and_trims(self):
+        signal = AudioSignal(np.ones(100), 8000)
+        assert signal.fit_to(150).num_samples == 150
+        assert signal.fit_to(50).num_samples == 50
+
+    def test_add_aligns_lengths(self):
+        a = AudioSignal(np.ones(10), 8000)
+        b = AudioSignal(np.ones(5), 8000)
+        assert (a + b).num_samples == 10
+
+    def test_add_rejects_rate_mismatch(self):
+        a = AudioSignal(np.ones(10), 8000)
+        b = AudioSignal(np.ones(10), 16000)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_segment(self):
+        signal = AudioSignal(np.arange(16000.0), 16000)
+        segment = signal.segment(0.25, 0.5)
+        assert segment.num_samples == 4000
+
+    def test_silence(self):
+        assert AudioSignal.silence(0.1, 8000).rms() == 0.0
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            AudioSignal(np.ones(10), 0)
+
+
+class TestPhonemesAndLexicon:
+    def test_inventory_has_vowels_and_consonants(self):
+        kinds = {phoneme.kind for phoneme in PHONEME_INVENTORY.values()}
+        assert {"vowel", "fricative", "stop", "nasal"} <= kinds
+
+    def test_vowels_have_three_formants(self):
+        for phoneme in PHONEME_INVENTORY.values():
+            if phoneme.kind == "vowel":
+                assert len(phoneme.formants) == 3
+
+    def test_all_lexicon_words_resolve(self):
+        for word in LEXICON:
+            phonemes = word_to_phonemes(word, LEXICON)
+            assert phonemes, word
+
+    def test_all_sentences_in_lexicon(self):
+        for sentence in SENTENCES:
+            assert sentence_words(sentence)
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError):
+            sentence_words("completely unknownword")
+
+    def test_random_sentence_is_decodable(self):
+        sentence = random_sentence(np.random.default_rng(0), num_words=5)
+        assert len(sentence_words(sentence)) == 5
+
+
+class TestVoiceSynthesizer:
+    def test_sentence_duration_reasonable(self):
+        synthesizer = VoiceSynthesizer(16000)
+        profile = SpeakerProfile("test", f0=120.0)
+        audio = synthesizer.synthesize_sentence(SENTENCES[0], profile)
+        assert 1.0 < audio.duration < 8.0
+        assert audio.peak() <= 0.5 + 1e-9
+
+    def test_speaker_pitch_is_respected(self):
+        """The fundamental frequency of the synthesised voice tracks the profile."""
+        synthesizer = VoiceSynthesizer(16000)
+        profile = SpeakerProfile("low", f0=100.0, breathiness=0.0, jitter=0.0)
+        samples = synthesizer.synthesize_word("me", profile, np.random.default_rng(0))
+        spectrum = np.abs(np.fft.rfft(samples))
+        freqs = np.fft.rfftfreq(samples.size, 1 / 16000)
+        voiced = spectrum[(freqs > 60) & (freqs < 160)]
+        band = freqs[(freqs > 60) & (freqs < 160)]
+        assert abs(band[np.argmax(voiced)] - 100.0) < 15.0
+
+    def test_same_speaker_has_consistent_spectrum(self):
+        """The paper's core observation: same speaker, different content, similar LAS."""
+        corpus = SyntheticCorpus(num_speakers=3, seed=0)
+        u1 = corpus.utterance("spk000", text=SENTENCES[0])
+        u2 = corpus.utterance("spk000", text=SENTENCES[1])
+        u3 = corpus.utterance("spk001", text=SENTENCES[0])
+        same = las_correlation(u1.audio.data, u2.audio.data, corpus.sample_rate)
+        cross = las_correlation(u1.audio.data, u3.audio.data, corpus.sample_rate)
+        assert same > 0.85
+        assert cross < same
+
+    def test_unknown_word_raises(self):
+        synthesizer = VoiceSynthesizer(16000)
+        with pytest.raises(KeyError):
+            synthesizer.synthesize_word("xyzzy", SpeakerProfile("p"))
+
+    def test_low_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            VoiceSynthesizer(4000)
+
+    def test_random_profiles_differ(self):
+        a = random_speaker_profile("a", np.random.default_rng(1))
+        b = random_speaker_profile("b", np.random.default_rng(2))
+        assert a.f0 != b.f0
+
+
+class TestCorpus:
+    def test_speaker_ids_sorted_and_sized(self):
+        corpus = SyntheticCorpus(num_speakers=5, seed=0)
+        assert len(corpus.speaker_ids) == 5
+        assert corpus.speaker_ids == sorted(corpus.speaker_ids)
+
+    def test_utterance_is_deterministic(self):
+        corpus = SyntheticCorpus(num_speakers=3, seed=1)
+        a = corpus.utterance("spk000", text=SENTENCES[0], seed=4)
+        b = corpus.utterance("spk000", text=SENTENCES[0], seed=4)
+        np.testing.assert_array_equal(a.audio.data, b.audio.data)
+
+    def test_reference_audios_match_paper_requirements(self):
+        corpus = SyntheticCorpus(num_speakers=3, seed=1)
+        references = corpus.reference_audios("spk001", count=3, seconds=3.0)
+        assert len(references) == 3
+        assert all(ref.duration == pytest.approx(3.0) for ref in references)
+
+    def test_duration_control(self):
+        corpus = SyntheticCorpus(num_speakers=3, seed=1)
+        utterance = corpus.utterance("spk000", duration=2.0)
+        assert utterance.audio.duration == pytest.approx(2.0)
+
+    def test_split_speakers_disjoint(self):
+        corpus = SyntheticCorpus(num_speakers=6, seed=1)
+        targets, others = corpus.split_speakers(2, 3)
+        assert not set(targets) & set(others)
+
+    def test_unknown_speaker_raises(self):
+        corpus = SyntheticCorpus(num_speakers=2, seed=1)
+        with pytest.raises(KeyError):
+            corpus.utterance("spk999")
+
+    def test_too_few_speakers_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpus(num_speakers=1)
+
+
+class TestNoise:
+    @pytest.mark.parametrize("name", sorted(NOISE_SCENARIOS))
+    def test_generators_produce_requested_rms(self, name):
+        noise = noise_by_name(name, 0.5, 16000, rng=np.random.default_rng(0), rms=0.05)
+        assert noise.rms() == pytest.approx(0.05, rel=0.05)
+        assert noise.duration == pytest.approx(0.5, abs=0.01)
+
+    def test_vehicle_noise_is_low_frequency(self):
+        """Vehicle noise must respect Table I's 0-500 Hz band."""
+        noise = vehicle_noise(1.0, 16000, np.random.default_rng(0))
+        spec = magnitude_spectrogram(noise.data, 512, 400, 160)
+        freqs = np.fft.rfftfreq(512, 1 / 16000)
+        low_energy = spec[freqs <= 600].sum()
+        high_energy = spec[freqs > 1000].sum()
+        assert low_energy > 10 * high_energy
+
+    def test_babble_noise_band_limited_to_4k(self):
+        noise = babble_noise(1.0, 16000, np.random.default_rng(0), num_voices=4)
+        spec = magnitude_spectrogram(noise.data, 512, 400, 160)
+        freqs = np.fft.rfftfreq(512, 1 / 16000)
+        assert spec[freqs <= 4000].sum() > 5 * spec[freqs > 5000].sum()
+
+    def test_factory_band_limited_to_2k(self):
+        noise = factory_noise(1.0, 16000, np.random.default_rng(0))
+        spec = magnitude_spectrogram(noise.data, 512, 400, 160)
+        freqs = np.fft.rfftfreq(512, 1 / 16000)
+        assert spec[freqs <= 2200].sum() > 5 * spec[freqs > 3000].sum()
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            noise_by_name("ocean", 1.0, 16000)
+
+    def test_white_noise_deterministic_with_rng(self):
+        a = white_noise(0.2, 8000, np.random.default_rng(5))
+        b = white_noise(0.2, 8000, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestMixing:
+    def test_mix_at_snr_achieves_requested_snr(self):
+        rng = np.random.default_rng(0)
+        target = AudioSignal(rng.normal(size=8000), 16000)
+        interference = AudioSignal(rng.normal(size=8000), 16000)
+        _, scaled = mix_at_snr(target, interference, 6.0)
+        measured = 20 * np.log10(target.rms() / scaled.rms())
+        assert measured == pytest.approx(6.0, abs=0.1)
+
+    def test_mix_signals_length(self):
+        a = AudioSignal(np.ones(10), 8000)
+        b = AudioSignal(np.ones(20), 8000)
+        assert mix_signals([a, b]).num_samples == 20
+
+    def test_mix_signals_empty_raises(self):
+        with pytest.raises(ValueError):
+            mix_signals([])
+
+    def test_joint_conversation_components_sum(self, corpus):
+        mixed, target, other, tu, ou = joint_conversation(
+            corpus, corpus.speaker_ids[0], corpus.speaker_ids[1], duration=1.0
+        )
+        np.testing.assert_allclose(mixed.data, (target + other).data, atol=1e-12)
+        assert tu.speaker_id == corpus.speaker_ids[0]
+        assert mixed.duration == pytest.approx(1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=-10, max_value=10))
+def test_property_mix_at_snr_monotone(snr_db):
+    """Higher requested SNR always means a quieter interference component."""
+    rng = np.random.default_rng(0)
+    target = AudioSignal(rng.normal(size=2000), 16000)
+    interference = AudioSignal(rng.normal(size=2000), 16000)
+    _, low = mix_at_snr(target, interference, snr_db)
+    _, high = mix_at_snr(target, interference, snr_db + 5.0)
+    assert high.rms() < low.rms()

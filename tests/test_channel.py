@@ -1,0 +1,234 @@
+"""Tests for the over-the-air channel: modulation, propagation, microphones, devices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio.signal import AudioSignal
+from repro.channel import (
+    DEVICE_TABLE,
+    MicrophoneModel,
+    Nonlinearity,
+    Recorder,
+    SceneSource,
+    ULTRASOUND_RATE,
+    UltrasoundSpeaker,
+    am_demodulate_ideal,
+    am_modulate,
+    device_names,
+    distance_attenuation,
+    get_device,
+    propagate,
+    propagation_delay,
+    spl_at_distance,
+)
+from repro.metrics import sdr
+
+
+def _speech_like(duration=0.5, sr=16000, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(int(duration * sr)) / sr
+    samples = (
+        0.3 * np.sin(2 * np.pi * 220 * t)
+        + 0.2 * np.sin(2 * np.pi * 700 * t)
+        + 0.05 * rng.standard_normal(t.size)
+    )
+    return AudioSignal(samples, sr)
+
+
+def _aligned_corr(a, b, max_lag=200):
+    n = min(a.size, b.size)
+    best = 0.0
+    for lag in range(0, max_lag, 4):
+        c = abs(np.corrcoef(a[lag:n], b[: n - lag])[0, 1])
+        best = max(best, c)
+    return best
+
+
+class TestUltrasound:
+    def test_modulated_energy_sits_around_carrier(self):
+        baseband = _speech_like()
+        modulated = am_modulate(baseband, 27000.0)
+        spectrum = np.abs(np.fft.rfft(modulated.data))
+        freqs = np.fft.rfftfreq(modulated.num_samples, 1.0 / modulated.sample_rate)
+        in_band = spectrum[(freqs > 20000) & (freqs < 36000)].sum()
+        audible = spectrum[freqs < 8000].sum()
+        assert in_band > 10 * audible
+
+    def test_audible_carrier_rejected(self):
+        with pytest.raises(ValueError):
+            am_modulate(_speech_like(), 5000.0)
+
+    def test_carrier_above_nyquist_rejected(self):
+        with pytest.raises(ValueError):
+            am_modulate(_speech_like(), 100000.0, output_rate=96000)
+
+    def test_square_law_demodulation_recovers_baseband(self):
+        baseband = _speech_like()
+        modulated = am_modulate(baseband, 25000.0)
+        recovered = am_demodulate_ideal(modulated)
+        assert _aligned_corr(recovered.data, baseband.data) > 0.9
+
+    def test_speaker_broadcast_is_amplified_and_ultrasonic(self):
+        speaker = UltrasoundSpeaker(carrier_hz=26000.0, amplifier_gain=10.0)
+        broadcast = speaker.broadcast(_speech_like())
+        assert broadcast.sample_rate == ULTRASOUND_RATE
+        assert broadcast.peak() > 5.0
+
+    def test_rear_leakage_much_weaker(self):
+        speaker = UltrasoundSpeaker(carrier_hz=26000.0)
+        shadow = _speech_like()
+        assert speaker.rear_leakage(shadow).rms() < 0.1 * speaker.broadcast(shadow).rms()
+
+
+class TestPropagation:
+    def test_delay_scales_with_distance(self):
+        assert propagation_delay(3.43) == pytest.approx(0.01)
+
+    def test_attenuation_is_inverse_distance(self):
+        assert distance_attenuation(0.5) == pytest.approx(0.1)
+        assert distance_attenuation(0.05) == pytest.approx(1.0)
+
+    def test_spl_at_distance_matches_spherical_spreading(self):
+        """77 dB SPL at 5 cm falls to ~37 dB at 5 m (clamped by the noise floor)."""
+        assert spl_at_distance(77.0, 0.5) == pytest.approx(57.0, abs=0.1)
+        assert spl_at_distance(77.0, 5.0, noise_floor_db=39.8) == pytest.approx(39.8, abs=0.2)
+
+    def test_propagate_delays_and_attenuates(self):
+        signal = _speech_like()
+        far = propagate(signal, 2.0)
+        assert far.rms() < 0.1 * signal.rms()
+        # Delay of 2 m is about 93 samples at 16 kHz: initial samples are ~0.
+        assert np.allclose(far.data[:80], 0.0, atol=1e-6)
+
+    def test_propagate_monotone_in_distance(self):
+        signal = _speech_like()
+        assert propagate(signal, 1.0).rms() > propagate(signal, 3.0).rms()
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            propagate(_speech_like(), -1.0)
+
+
+class TestMicrophone:
+    def test_nonlinearity_produces_square_term(self):
+        nonlinearity = Nonlinearity(a1=1.0, a2=0.5, a3=0.0)
+        out = nonlinearity.apply(np.array([2.0]))
+        assert out[0] == pytest.approx(1.0 * 2.0 + 0.5 * 4.0)
+
+    def test_linear_microphone_does_not_demodulate(self):
+        """The paper's limitation: without the non-linear term NEC is ineffective."""
+        baseband = _speech_like()
+        speaker = UltrasoundSpeaker(carrier_hz=26000.0, amplifier_gain=5.0)
+        broadcast = speaker.broadcast(baseband)
+        nonlinear_mic = MicrophoneModel(nonlinearity=Nonlinearity(1.0, 0.1, 0.0))
+        linear_mic = MicrophoneModel(nonlinearity=Nonlinearity(1.0, 0.0, 0.0))
+        demod_nl = nonlinear_mic.record(None, broadcast, rng=np.random.default_rng(0))
+        demod_lin = linear_mic.record(None, broadcast, rng=np.random.default_rng(0))
+        assert demod_nl.rms() > 5 * demod_lin.rms()
+
+    def test_record_requires_some_input(self):
+        with pytest.raises(ValueError):
+            MicrophoneModel().record(None, None)
+
+    def test_audible_passthrough_keeps_speech(self):
+        mic = MicrophoneModel()
+        audible = _speech_like()
+        recorded = mic.record(audible, None, rng=np.random.default_rng(0))
+        assert _aligned_corr(recorded.data, audible.data) > 0.9
+
+    def test_demodulation_effectiveness_zero_out_of_band(self):
+        mic = MicrophoneModel(carrier_low_hz=24000.0, carrier_high_hz=28000.0)
+        assert mic.demodulation_effectiveness(30000.0) == 0.0
+        assert mic.demodulation_effectiveness(26000.0) > 0.5
+
+
+class TestDevices:
+    def test_table_contains_the_papers_recorders(self):
+        assert "Moto Z4" in DEVICE_TABLE
+        assert "Galaxy S9" in DEVICE_TABLE
+        assert len(DEVICE_TABLE) == 8
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("Nokia 3310")
+
+    def test_carrier_response_zero_outside_range(self):
+        device = get_device("Moto Z4")
+        assert device.carrier_response(20.0) == 0.0
+        assert device.carrier_response(33.0) == 0.0
+
+    def test_carrier_response_peaks_at_best_frequency(self):
+        device = get_device("iPhone SE2")
+        best = device.best_carrier_khz
+        others = [device.carrier_response(k) for k in (device.carrier_low_khz, device.carrier_high_khz)]
+        assert device.carrier_response(best) >= max(others)
+
+    def test_longer_reach_devices_have_stronger_nonlinearity(self):
+        strong = get_device("iPad Air 3")
+        weak = get_device("iPhone X")
+        assert strong.nonlinearity.a2 > weak.nonlinearity.a2
+
+    def test_device_names_sorted(self):
+        assert device_names() == sorted(device_names())
+
+
+class TestRecorder:
+    def test_scene_with_audible_and_ultrasound(self):
+        bob = _speech_like(seed=1)
+        speaker = UltrasoundSpeaker(carrier_hz=27000.0)
+        broadcast = speaker.broadcast(bob)
+        recorder = Recorder("Moto Z4", seed=0)
+        recorded = recorder.record_scene(
+            [
+                SceneSource(bob, 0.5),
+                SceneSource(broadcast, 0.5, is_ultrasound=True, carrier_khz=27.0),
+            ]
+        )
+        assert recorded.sample_rate == 16000
+        assert recorded.rms() > 0
+
+    def test_ultrasound_requires_carrier(self):
+        recorder = Recorder("Moto Z4")
+        broadcast = UltrasoundSpeaker(carrier_hz=27000.0).broadcast(_speech_like())
+        with pytest.raises(ValueError):
+            recorder.record_scene([SceneSource(broadcast, 0.5, is_ultrasound=True)])
+
+    def test_empty_scene_rejected(self):
+        with pytest.raises(ValueError):
+            Recorder("Moto Z4").record_scene([])
+
+    def test_out_of_band_carrier_has_no_effect(self):
+        """A carrier outside the device's supported range is not demodulated."""
+        bob = _speech_like(seed=1)
+        speaker_in = UltrasoundSpeaker(carrier_hz=27000.0)
+        speaker_out = UltrasoundSpeaker(carrier_hz=33000.0)
+        in_band = Recorder("Moto Z4", seed=0).record_scene(
+            [SceneSource(speaker_in.broadcast(bob), 0.5, is_ultrasound=True, carrier_khz=27.0)]
+        )
+        out_band = Recorder("Moto Z4", seed=0).record_scene(
+            [SceneSource(speaker_out.broadcast(bob), 0.5, is_ultrasound=True, carrier_khz=33.0)]
+        )
+        assert in_band.rms() > 10 * out_band.rms()
+
+    def test_demodulated_shadow_masks_target(self):
+        """End-to-end channel check: the broadcast shadow overshadows Bob."""
+        bob = _speech_like(seed=1)
+        speaker = UltrasoundSpeaker(carrier_hz=27.0 * 1000)
+        broadcast = speaker.broadcast(bob)
+        without = Recorder("Moto Z4", seed=0).record_scene([SceneSource(bob, 0.5)])
+        with_nec = Recorder("Moto Z4", seed=0).record_scene(
+            [
+                SceneSource(bob, 0.5),
+                SceneSource(broadcast, 0.5, is_ultrasound=True, carrier_khz=27.0),
+            ]
+        )
+        assert with_nec.rms() > 2 * without.rms()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=0.1, max_value=5.0), st.floats(min_value=40.0, max_value=90.0))
+def test_property_spl_never_increases_with_distance(distance, source_spl):
+    """SPL at a farther point never exceeds the SPL at the source."""
+    assert spl_at_distance(source_spl, distance) <= source_spl + 1e-9

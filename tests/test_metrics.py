@@ -1,0 +1,185 @@
+"""Tests for the evaluation metrics (SDR, cosine, SONR, WER, URS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ReviewerPanel,
+    cosine_distance,
+    cosine_similarity,
+    energy_ratio_db,
+    levenshtein_distance,
+    sdr,
+    si_sdr,
+    sonr,
+    user_rating_scores,
+    word_error_rate,
+)
+
+
+def _speechlike(seed, n=4000):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n) * np.sin(np.linspace(0, 30, n))
+
+
+class TestSDR:
+    def test_identical_signals_give_high_sdr(self):
+        x = _speechlike(0)
+        assert sdr(x, x) > 100
+
+    def test_scaling_does_not_change_sdr(self):
+        x = _speechlike(0)
+        assert sdr(x, 3.0 * x) > 100
+
+    def test_added_noise_lowers_sdr(self):
+        x = _speechlike(0)
+        noisy = x + 0.5 * _speechlike(1)
+        assert sdr(x, noisy) < sdr(x, x)
+
+    def test_orthogonal_estimate_gives_low_sdr(self):
+        x = _speechlike(0)
+        assert sdr(x, _speechlike(99)) < 1.0
+
+    def test_known_snr_recovered(self):
+        """Estimate = reference + noise at 10 dB -> SDR ~ 10 dB."""
+        rng = np.random.default_rng(0)
+        reference = rng.normal(size=20000)
+        noise = rng.normal(size=20000)
+        noise *= np.linalg.norm(reference) / (np.linalg.norm(noise) * 10 ** 0.5)
+        assert sdr(reference, reference + noise) == pytest.approx(10.0, abs=0.5)
+
+    def test_si_sdr_ignores_offsets(self):
+        x = _speechlike(0)
+        assert si_sdr(x, x + 5.0) > 50
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sdr(np.array([]), np.array([]))
+
+    def test_silent_reference_is_minus_inf(self):
+        assert sdr(np.zeros(100), _speechlike(0, 100)) == -np.inf
+
+    def test_energy_ratio(self):
+        a = np.ones(100)
+        b = 0.1 * np.ones(100)
+        assert energy_ratio_db(a, b) == pytest.approx(20.0, abs=1e-6)
+
+
+class TestCosine:
+    def test_identical(self):
+        x = _speechlike(1)
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+        assert cosine_distance(x, x) == pytest.approx(0.0)
+
+    def test_sign_flip_ignored_by_distance(self):
+        x = _speechlike(1)
+        assert cosine_distance(x, -x) == pytest.approx(0.0)
+
+    def test_orthogonal(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert cosine_distance(a, b) == pytest.approx(1.0)
+
+    def test_length_mismatch_truncates(self):
+        a = np.ones(10)
+        b = np.ones(7)
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.array([]), np.array([]))
+
+
+class TestSONR:
+    def test_small_target_share_gives_high_sonr(self):
+        target = 0.01 * _speechlike(0)
+        mixture = _speechlike(1) + target
+        assert sonr(mixture, target) > 20
+
+    def test_dominant_target_gives_low_sonr(self):
+        target = _speechlike(0)
+        mixture = target + 0.01 * _speechlike(1)
+        assert sonr(mixture, target) < 3
+
+    def test_adding_masking_energy_raises_sonr(self):
+        target = _speechlike(0)
+        mixture = target + _speechlike(1)
+        masked = mixture + 3.0 * _speechlike(2)
+        assert sonr(masked.copy(), target) > sonr(mixture, target)
+
+    def test_silent_target_is_infinite(self):
+        assert sonr(_speechlike(0), np.zeros(4000)) == np.inf
+
+
+class TestWER:
+    def test_perfect_match(self):
+        assert word_error_rate("hello world", "hello world") == 0.0
+
+    def test_substitution(self):
+        assert word_error_rate("hello world", "hello there") == pytest.approx(0.5)
+
+    def test_deletion_and_insertion(self):
+        assert word_error_rate("a b c d", "a b") == pytest.approx(0.5)
+        assert word_error_rate("a b", "a b c d") == pytest.approx(1.0)
+
+    def test_can_exceed_one(self):
+        """Like the paper's 200% WER, heavy insertions push WER above 1."""
+        assert word_error_rate("a", "x y z") > 1.0
+
+    def test_accepts_token_lists(self):
+        assert word_error_rate(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError):
+            word_error_rate("", "something")
+
+    def test_levenshtein_symmetry(self):
+        a, b = ["x", "y", "z"], ["x", "z"]
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+
+class TestURS:
+    def test_hidden_target_scores_high(self):
+        target = _speechlike(0)
+        recording = _speechlike(1)  # target absent
+        scores = user_rating_scores(recording, target, seed=1)
+        assert scores.mean() > 3.5
+
+    def test_audible_target_scores_low(self):
+        target = _speechlike(0)
+        recording = target + 0.05 * _speechlike(1)
+        scores = user_rating_scores(recording, target, seed=1)
+        assert scores.mean() < 2.5
+
+    def test_scores_within_range_and_count(self):
+        panel = ReviewerPanel(num_reviewers=10, seed=3)
+        scores = panel.rate(_speechlike(1), _speechlike(0))
+        assert scores.shape == (10,)
+        assert scores.min() >= 1 and scores.max() <= 5
+
+    def test_deterministic_given_seed(self):
+        target, recording = _speechlike(0), _speechlike(1)
+        a = user_rating_scores(recording, target, seed=5)
+        b = user_rating_scores(recording, target, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=8))
+def test_property_wer_zero_iff_identical(words):
+    """WER of a transcript against itself is always zero."""
+    assert word_error_rate(words, list(words)) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=6),
+    st.lists(st.sampled_from(["a", "b", "c"]), min_size=0, max_size=6),
+)
+def test_property_wer_non_negative_and_bounded_by_edit(reference, hypothesis):
+    """WER is non-negative and consistent with the Levenshtein distance."""
+    wer = word_error_rate(reference, hypothesis)
+    assert wer >= 0.0
+    assert wer == levenshtein_distance(reference, hypothesis) / len(reference)
