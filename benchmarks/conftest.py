@@ -9,8 +9,10 @@ raise them for a higher-fidelity run.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+import repro.nn.tensor as _tensor_module
 from repro.asr.recognizer import TemplateRecognizer
 from repro.core.config import NECConfig
 from repro.eval.common import prepare_context
@@ -21,6 +23,28 @@ BENCH_NUM_TARGETS = 2
 BENCH_EXAMPLES_PER_TARGET = 5
 BENCH_TRAINING_EPOCHS = 8
 BENCH_SEED = 0
+
+
+@pytest.fixture(autouse=True)
+def isolated_global_state():
+    """Run every benchmark against pinned global RNG / autograd state.
+
+    The benchmarks train models and are sensitive to any process-global state
+    another test may have touched: the legacy ``numpy.random`` stream and the
+    autograd substrate's grad-enabled flag.  Pinning both before each test (and
+    restoring afterwards) makes every benchmark produce the same numbers
+    regardless of which tests ran before it, killing order-dependent failures
+    such as the one ``test_ablation_dilations`` used to show in full runs.
+    """
+    rng_state = np.random.get_state()
+    grad_state = _tensor_module.grad_enabled()
+    np.random.seed(BENCH_SEED)
+    _tensor_module._GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _tensor_module._GRAD_ENABLED = grad_state
+        np.random.set_state(rng_state)
 
 
 @pytest.fixture(scope="session")

@@ -20,12 +20,13 @@ from repro.core.selector import Selector
 from repro.core.overshadow import (
     superpose_spectrograms,
     shadow_waveform,
+    shadow_waveform_from_stft,
     apply_offsets,
     offset_study,
     OffsetPoint,
 )
 from repro.core.training import SelectorTrainer, TrainingExample, TrainingHistory
-from repro.core.pipeline import NECSystem, ProtectionResult
+from repro.core.pipeline import NECSystem, ProtectionResult, StreamingProtector
 
 __all__ = [
     "NECConfig",
@@ -35,6 +36,7 @@ __all__ = [
     "Selector",
     "superpose_spectrograms",
     "shadow_waveform",
+    "shadow_waveform_from_stft",
     "apply_offsets",
     "offset_study",
     "OffsetPoint",
@@ -43,4 +45,5 @@ __all__ = [
     "TrainingHistory",
     "NECSystem",
     "ProtectionResult",
+    "StreamingProtector",
 ]

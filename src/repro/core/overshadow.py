@@ -18,7 +18,8 @@ def superpose_spectrograms(mixed: np.ndarray, shadow: np.ndarray) -> np.ndarray:
     """``S_record = S_mixed + S_shadow`` (paper Eq. 5), floored at zero.
 
     The shadow spectrogram is signed (it subtracts the target's contribution);
-    magnitudes cannot go negative, hence the floor.
+    magnitudes cannot go negative, hence the floor.  Accepts single ``(F, T)``
+    spectrograms or stacked ``(N, F, T)`` batches — the op is elementwise.
     """
     mixed = np.asarray(mixed, dtype=np.float64)
     shadow = np.asarray(shadow, dtype=np.float64)
@@ -44,6 +45,24 @@ def shadow_waveform(
     mixed_stft = stft(
         mixed_audio.data, config.n_fft, config.win_length, config.hop_length
     )
+    return shadow_waveform_from_stft(
+        mixed_stft, shadow_spectrogram, config, length=mixed_audio.num_samples
+    )
+
+
+def shadow_waveform_from_stft(
+    mixed_stft: np.ndarray,
+    shadow_spectrogram: np.ndarray,
+    config: NECConfig,
+    length: int,
+) -> AudioSignal:
+    """:func:`shadow_waveform` given an already-computed complex mixed STFT.
+
+    The batched inference engine computes one complex STFT per segment anyway
+    (the magnitude feeds the Selector); reusing it here for the phase avoids a
+    second full STFT per segment while producing the identical waveform.
+    """
+    mixed_stft = np.asarray(mixed_stft)
     shadow = np.asarray(shadow_spectrogram, dtype=np.float64)
     frames = min(mixed_stft.shape[1], shadow.shape[1])
     phase = np.exp(1j * np.angle(mixed_stft[:, :frames]))
@@ -52,7 +71,7 @@ def shadow_waveform(
         complex_shadow,
         config.win_length,
         config.hop_length,
-        length=mixed_audio.num_samples,
+        length=length,
     )
     return AudioSignal(wave, config.sample_rate)
 

@@ -1,9 +1,20 @@
-"""The end-to-end NEC system: enroll, protect, broadcast, record."""
+"""The end-to-end NEC system: enroll, protect, broadcast, record.
+
+Shadow generation runs on a **batched inference engine**: an arbitrary-length
+clip is split into segments, every segment's spectrogram is stacked into one
+``(N, 1, T, F)`` batch, and a single gradient-free Selector forward pass
+produces all shadow spectrograms at once (:meth:`NECSystem.protect`).  The
+same engine powers :meth:`NECSystem.protect_batch` (many clips per call, for
+serving) and :class:`StreamingProtector` (chunked audio in, shadow waves out,
+with carried-over state).  The segment-at-a-time reference path is kept as
+:meth:`NECSystem.protect_looped`; both paths are numerically identical and the
+equivalence is pinned by tests.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -12,9 +23,14 @@ from repro.channel.recorder import Recorder, SceneSource
 from repro.channel.ultrasound import UltrasoundSpeaker
 from repro.core.config import NECConfig
 from repro.core.encoder import SpeakerEncoder, SpectralEncoder
-from repro.core.overshadow import apply_offsets, shadow_waveform, superpose_spectrograms
+from repro.core.overshadow import (
+    apply_offsets,
+    shadow_waveform,
+    shadow_waveform_from_stft,
+    superpose_spectrograms,
+)
 from repro.core.selector import Selector
-from repro.dsp.stft import magnitude_spectrogram
+from repro.dsp.stft import batch_stft, magnitude, magnitude_spectrogram
 
 
 @dataclass
@@ -100,12 +116,15 @@ class NECSystem:
             chunks.append(chunk.fit_to(segment))
         return chunks or [audio.fit_to(segment)]
 
+    def _check_sample_rate(self, audio: AudioSignal) -> None:
+        if audio.sample_rate != self.config.sample_rate:
+            raise ValueError(
+                f"expected {self.config.sample_rate} Hz audio, got {audio.sample_rate}"
+            )
+
     def protect_segment(self, mixed_segment: AudioSignal) -> ProtectionResult:
         """Run the Selector on one segment and build the shadow wave."""
-        if mixed_segment.sample_rate != self.config.sample_rate:
-            raise ValueError(
-                f"expected {self.config.sample_rate} Hz audio, got {mixed_segment.sample_rate}"
-            )
+        self._check_sample_rate(mixed_segment)
         mixed_spec = magnitude_spectrogram(
             mixed_segment.data,
             self.config.n_fft,
@@ -123,10 +142,55 @@ class NECSystem:
             record_spectrogram=record_spec,
         )
 
-    def protect(self, mixed_audio: AudioSignal) -> ProtectionResult:
-        """Protect an arbitrary-length mixed audio (processed per segment)."""
-        segments = self._segments(mixed_audio)
-        results = [self.protect_segment(segment) for segment in segments]
+    def protect_segment_matrix(
+        self, segment_matrix: np.ndarray, max_batch_segments: int = 16
+    ) -> List[ProtectionResult]:
+        """The batched engine core: protect ``(N, segment_samples)`` stacked segments.
+
+        One complex STFT and one Selector forward pass cover the whole batch
+        (chunked at ``max_batch_segments`` to bound the im2col working set).
+        Returns one full-segment :class:`ProtectionResult` per row, each
+        bit-identical to :meth:`protect_segment` on that row.
+        """
+        matrix = np.asarray(segment_matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.config.segment_samples:
+            raise ValueError(
+                f"expected a (N, {self.config.segment_samples}) segment matrix, "
+                f"got shape {matrix.shape}"
+            )
+        embedding = self.embedding  # fail fast if not enrolled
+        results: List[ProtectionResult] = []
+        batch_size = max(max_batch_segments, 1)
+        for start in range(0, matrix.shape[0], batch_size):
+            chunk = matrix[start : start + batch_size]
+            stfts = batch_stft(
+                chunk, self.config.n_fft, self.config.win_length, self.config.hop_length
+            )  # (n, F, T) complex
+            mixed_specs = magnitude(stfts)
+            shadow_specs = self.selector.shadow_spectrogram_batch(mixed_specs, embedding)
+            record_specs = superpose_spectrograms(mixed_specs, shadow_specs)
+            for row, mixed_stft in enumerate(stfts):
+                wave = shadow_waveform_from_stft(
+                    mixed_stft,
+                    shadow_specs[row],
+                    self.config,
+                    length=self.config.segment_samples,
+                )
+                results.append(
+                    ProtectionResult(
+                        mixed_audio=AudioSignal(chunk[row], self.config.sample_rate),
+                        mixed_spectrogram=mixed_specs[row],
+                        shadow_spectrogram=shadow_specs[row],
+                        shadow_wave=wave,
+                        record_spectrogram=record_specs[row],
+                    )
+                )
+        return results
+
+    def _assemble(
+        self, mixed_audio: AudioSignal, results: Sequence[ProtectionResult]
+    ) -> ProtectionResult:
+        """Stitch per-segment results back into one clip-level result."""
         if len(results) == 1:
             single = results[0]
             trimmed_wave = single.shadow_wave.trim_to(
@@ -151,6 +215,57 @@ class NECSystem:
             shadow_wave=AudioSignal(shadow, self.config.sample_rate),
             record_spectrogram=record_spec,
         )
+
+    def _segment_matrix(self, mixed_audio: AudioSignal) -> np.ndarray:
+        """The clip's segments stacked into a ``(N, segment_samples)`` matrix."""
+        self._check_sample_rate(mixed_audio)
+        return np.stack([segment.data for segment in self._segments(mixed_audio)])
+
+    def protect(self, mixed_audio: AudioSignal) -> ProtectionResult:
+        """Protect an arbitrary-length mixed audio via the batched engine.
+
+        All segments go through one stacked STFT and one Selector forward pass;
+        the result is numerically identical to :meth:`protect_looped` (the
+        original segment-at-a-time path) at a multiple of its throughput.
+        """
+        results = self.protect_segment_matrix(self._segment_matrix(mixed_audio))
+        return self._assemble(mixed_audio, results)
+
+    def protect_looped(self, mixed_audio: AudioSignal) -> ProtectionResult:
+        """Reference implementation: protect one segment at a time.
+
+        Kept as the numerical ground truth the batched engine is verified
+        against, and as the baseline of the batched-vs-looped benchmark.
+        """
+        results = [self.protect_segment(segment) for segment in self._segments(mixed_audio)]
+        return self._assemble(mixed_audio, results)
+
+    def protect_batch(
+        self,
+        mixed_audios: Sequence[AudioSignal],
+        max_batch_segments: int = 16,
+    ) -> List[ProtectionResult]:
+        """Protect many clips in one call — the serving entry point.
+
+        Segments of *all* clips are stacked into one matrix so short clips
+        share forward passes instead of each paying a full one; the results
+        are then split and reassembled per clip.  ``protect_batch([a, b])``
+        returns exactly ``[protect(a), protect(b)]``.
+        """
+        if not mixed_audios:
+            return []
+        matrices = [self._segment_matrix(audio) for audio in mixed_audios]
+        stacked = np.concatenate(matrices, axis=0)
+        segment_results = self.protect_segment_matrix(
+            stacked, max_batch_segments=max_batch_segments
+        )
+        assembled: List[ProtectionResult] = []
+        offset = 0
+        for audio, matrix in zip(mixed_audios, matrices):
+            count = matrix.shape[0]
+            assembled.append(self._assemble(audio, segment_results[offset : offset + count]))
+            offset += count
+        return assembled
 
     # -- recording models --------------------------------------------------------
     def superpose(
@@ -214,3 +329,104 @@ class NECSystem:
                 )
             )
         return recorder.record_scene(sources)
+
+
+class StreamingProtector:
+    """Incremental protection of chunked audio with carried-over state.
+
+    A deployment NEC device does not see whole clips: audio arrives from the
+    microphone in arbitrary-sized chunks.  This wrapper buffers incoming
+    samples, runs the batched engine whenever one or more full segments are
+    available, and emits the corresponding shadow waves immediately; the
+    partial tail is carried over to the next :meth:`feed`.  Concatenating all
+    emitted shadow waves (with a final :meth:`flush`) reproduces exactly what
+    :meth:`NECSystem.protect` emits for the whole clip at once::
+
+        protector = StreamingProtector(system)
+        for chunk in microphone_chunks:
+            for result in protector.feed(chunk):
+                speaker.broadcast(result.shadow_wave)
+        tail = protector.flush()          # last partial segment, zero-padded
+    """
+
+    def __init__(self, system: NECSystem, max_batch_segments: int = 16) -> None:
+        self.system = system
+        self.max_batch_segments = max_batch_segments
+        self._buffer = np.zeros(0, dtype=np.float64)
+        self._segments_emitted = 0
+        self._samples_fed = 0
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def pending_samples(self) -> int:
+        """Samples buffered but not yet covered by an emitted segment."""
+        return int(self._buffer.size)
+
+    @property
+    def segments_emitted(self) -> int:
+        return self._segments_emitted
+
+    @property
+    def samples_fed(self) -> int:
+        return self._samples_fed
+
+    def reset(self) -> None:
+        """Drop all carried-over state (start a new stream)."""
+        self._buffer = np.zeros(0, dtype=np.float64)
+        self._segments_emitted = 0
+        self._samples_fed = 0
+
+    # -- streaming -----------------------------------------------------------
+    def feed(self, chunk: Union[AudioSignal, np.ndarray]) -> List[ProtectionResult]:
+        """Append a chunk; return one result per segment completed by it.
+
+        Each returned :class:`ProtectionResult` covers one full segment
+        (``config.segment_samples`` samples of shadow wave).  Chunks may be of
+        any size, including empty; several segments completed by one chunk are
+        protected in a single batched forward pass.
+        """
+        if isinstance(chunk, AudioSignal):
+            self.system._check_sample_rate(chunk)
+            data = chunk.data
+        else:
+            data = np.asarray(chunk, dtype=np.float64).reshape(-1)
+        self._samples_fed += data.size
+        self._buffer = np.concatenate([self._buffer, data]) if data.size else self._buffer
+        segment = self.system.config.segment_samples
+        full = self._buffer.size // segment
+        if full == 0:
+            return []
+        matrix = self._buffer[: full * segment].reshape(full, segment)
+        results = self.system.protect_segment_matrix(
+            matrix, max_batch_segments=self.max_batch_segments
+        )
+        # Consume the buffer only after the batched pass succeeded, so a failed
+        # feed (e.g. before enrollment) never silently drops stream audio.
+        self._buffer = self._buffer[full * segment :].copy()
+        self._segments_emitted += full
+        return results
+
+    def flush(self) -> Optional[ProtectionResult]:
+        """Protect the buffered partial segment (zero-padded), if any.
+
+        The emitted shadow wave is trimmed to the actual number of buffered
+        samples so that the concatenation of every emitted wave matches
+        :meth:`NECSystem.protect` on the whole stream.  Returns ``None`` when
+        the buffer is empty.
+        """
+        if self._buffer.size == 0:
+            return None
+        segment = self.system.config.segment_samples
+        pending = self._buffer.size
+        padded = np.zeros((1, segment))
+        padded[0, :pending] = self._buffer
+        result = self.system.protect_segment_matrix(padded)[0]
+        self._buffer = np.zeros(0, dtype=np.float64)
+        self._segments_emitted += 1
+        return ProtectionResult(
+            mixed_audio=AudioSignal(padded[0, :pending], self.system.config.sample_rate),
+            mixed_spectrogram=result.mixed_spectrogram,
+            shadow_spectrogram=result.shadow_spectrogram,
+            shadow_wave=result.shadow_wave.trim_to(pending),
+            record_spectrogram=result.record_spectrogram,
+        )

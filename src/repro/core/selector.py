@@ -115,6 +115,72 @@ class Selector(Module):
             output = output.sigmoid()
         return output  # (T, F)
 
+    def forward_batch(
+        self, mixed_spectrograms: np.ndarray, d_vector: np.ndarray
+    ) -> np.ndarray:
+        """Selector output for a batch of segments, without autograd.
+
+        ``mixed_spectrograms``: ``(N, F, T)`` stacked magnitude spectrograms.
+        ``d_vector``: ``(embedding_dim,)`` reference embedding shared by the
+        batch (one protected speaker serves all segments of a clip).
+        Returns the raw head output of shape ``(N, T, F)``.
+
+        Every operation mirrors :meth:`forward` exactly — same log-compression
+        constants, same column layout, same matmul shapes per segment (the
+        batch axis only broadcasts) — so row ``n`` is bit-identical to
+        ``forward(mixed_spectrograms[n], d_vector)``.  The convolutions run
+        through :meth:`Conv2d.infer`, which skips autograd bookkeeping and the
+        per-sample fancy-index construction; this is where the batched engine
+        earns its throughput.
+        """
+        batch = np.asarray(mixed_spectrograms, dtype=np.float64)
+        if batch.ndim != 3:
+            raise ValueError("forward_batch expects a (N, F, T) batch of spectrograms")
+        d_vector = np.asarray(d_vector, dtype=np.float64)
+        num_segments, freq_bins, frames = batch.shape
+        if freq_bins != self.config.frequency_bins:
+            raise ValueError(
+                f"expected {self.config.frequency_bins} frequency bins, got {freq_bins}"
+            )
+        if num_segments == 0:
+            return np.zeros((0, frames, freq_bins))
+
+        # Same dynamic-range compression as forward(): Tensor.log adds its own
+        # 1e-12 epsilon on top of the 1e-6 offset.
+        compressed = np.log(batch + 1e-6 + 1e-12)
+        # (N, F, T) -> (N, 1, T, F): time as "height", frequency as "width".
+        image = compressed.transpose(0, 2, 1).reshape(num_segments, 1, frames, freq_bins)
+
+        hidden = self.conv_freq.infer(image)
+        hidden = hidden * (hidden > 0)
+        hidden = self.conv_time.infer(hidden)
+        hidden = hidden * (hidden > 0)
+        for layer in self.dilated:
+            hidden = layer.infer(hidden)
+            hidden = hidden * (hidden > 0)
+        features = self.conv_out.infer(hidden)
+        features = features * (features > 0)  # (N, 2, T, F)
+
+        # (N, 2, T, F) -> (N, T, 2F)
+        features = features.transpose(0, 2, 1, 3).reshape(
+            num_segments, frames, 2 * freq_bins
+        )
+
+        # Concatenate the d-vector to every frame of every segment.
+        tiled = np.broadcast_to(
+            d_vector.reshape(1, 1, -1), (num_segments, frames, d_vector.size)
+        )
+        fused = np.concatenate([features, tiled], axis=2)
+
+        # The (N, T, in) @ (in, out) matmul broadcasts into N per-segment GEMMs
+        # of exactly the shapes forward() uses, keeping the results identical.
+        hidden = fused @ self.fc1.weight.data + self.fc1.bias.data
+        hidden = hidden * (hidden > 0)
+        output = hidden @ self.fc2.weight.data + self.fc2.bias.data
+        if self.config.output_mode == "mask":
+            output = 1.0 / (1.0 + np.exp(-np.clip(output, -60.0, 60.0)))
+        return output  # (N, T, F)
+
     # ------------------------------------------------------------------
     def shadow_spectrogram(
         self, mixed_spectrogram: np.ndarray, d_vector: np.ndarray
@@ -128,6 +194,20 @@ class Selector(Module):
         """
         mixed = np.asarray(mixed_spectrogram, dtype=np.float64)
         output = self.forward(Tensor(mixed), Tensor(np.asarray(d_vector))).data.T  # (F, T)
+        if self.config.output_mode == "mask":
+            return -(output * mixed)
+        return output
+
+    def shadow_spectrogram_batch(
+        self, mixed_spectrograms: np.ndarray, d_vector: np.ndarray
+    ) -> np.ndarray:
+        """Signed shadow spectrograms for a ``(N, F, T)`` batch, shape ``(N, F, T)``.
+
+        Row ``n`` equals ``shadow_spectrogram(mixed_spectrograms[n], d_vector)``
+        bit for bit; see :meth:`forward_batch` for why.
+        """
+        mixed = np.asarray(mixed_spectrograms, dtype=np.float64)
+        output = self.forward_batch(mixed, d_vector).transpose(0, 2, 1)  # (N, F, T)
         if self.config.output_mode == "mask":
             return -(output * mixed)
         return output

@@ -12,8 +12,11 @@ from repro.dsp.windows import hann_window, hamming_window, rectangular_window, g
 from repro.dsp.stft import (
     stft,
     istft,
+    batch_stft,
+    batch_istft,
     magnitude,
     magnitude_spectrogram,
+    batch_magnitude_spectrogram,
     spectrogram_shape,
     reconstruct_waveform,
     griffin_lim,
@@ -53,8 +56,11 @@ __all__ = [
     "get_window",
     "stft",
     "istft",
+    "batch_stft",
+    "batch_istft",
     "magnitude",
     "magnitude_spectrogram",
+    "batch_magnitude_spectrogram",
     "spectrogram_shape",
     "reconstruct_waveform",
     "griffin_lim",

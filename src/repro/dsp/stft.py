@@ -52,6 +52,70 @@ def magnitude(spectrum: np.ndarray) -> np.ndarray:
     return np.abs(spectrum)
 
 
+def batch_stft(
+    signals: np.ndarray,
+    n_fft: int = 1200,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+) -> np.ndarray:
+    """Complex STFT of a batch of equal-length signals, shape ``(N, F, T)``.
+
+    ``signals`` is a ``(N, num_samples)`` array of same-length clips (e.g. the
+    stacked segments of :meth:`NECSystem.protect`).  Row ``n`` of the result is
+    bit-identical to ``stft(signals[n], ...)``: the framing is the same, only
+    the frame extraction and FFT run once for the whole batch.
+    """
+    signals = np.asarray(signals, dtype=np.float64)
+    if signals.ndim != 2:
+        raise ValueError("batch_stft expects a (N, num_samples) batch of signals")
+    if win_length > n_fft:
+        raise ValueError("win_length must be <= n_fft")
+    if signals.shape[1] < win_length:
+        # Mirror stft(): a too-short signal yields exactly one zero-padded frame.
+        signals = np.pad(signals, ((0, 0), (0, win_length - signals.shape[1])))
+    win = get_window(window, win_length)
+    starts = _frame_starts(signals.shape[1], win_length, hop_length)
+    # (N, T, win): gather every frame of every signal in one indexing op.
+    frames = signals[:, starts[:, None] + np.arange(win_length)[None, :]]
+    frames = frames * win
+    spectrum = np.fft.rfft(frames, n=n_fft, axis=2)
+    return spectrum.transpose(0, 2, 1)  # (N, freq_bins, frames)
+
+
+def batch_magnitude_spectrogram(
+    signals: np.ndarray,
+    n_fft: int = 1200,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+) -> np.ndarray:
+    """Magnitude spectrograms of a batch of equal-length signals, ``(N, F, T)``."""
+    return magnitude(batch_stft(signals, n_fft, win_length, hop_length, window))
+
+
+def batch_istft(
+    spectra: np.ndarray,
+    win_length: int = 400,
+    hop_length: int = 160,
+    window: str = "hann",
+    length: Optional[int] = None,
+) -> np.ndarray:
+    """Inverse STFT of a ``(N, F, T)`` batch, returning ``(N, num_samples)``.
+
+    Overlap-add accumulates sequentially per clip (exactly like :func:`istft`),
+    so each row matches the single-clip inverse bit for bit.
+    """
+    spectra = np.asarray(spectra)
+    if spectra.ndim != 3:
+        raise ValueError("batch_istft expects a (N, F, T) batch of spectra")
+    waves = [
+        istft(spectrum, win_length, hop_length, window, length=length)
+        for spectrum in spectra
+    ]
+    return np.stack(waves) if waves else np.zeros((0, length or 0))
+
+
 def magnitude_spectrogram(
     signal: np.ndarray,
     n_fft: int = 1200,

@@ -20,7 +20,12 @@ from repro.eval.overall import run_overall_benchmark, OverallResult
 from repro.eval.user_study import run_user_study, UserStudyResult
 from repro.eval.distance import run_waveform_distance_study, run_loudness_study, run_sonr_study
 from repro.eval.comparison import run_comparison_study, ComparisonResult
-from repro.eval.runtime import run_runtime_analysis, RuntimeResult
+from repro.eval.runtime import (
+    run_runtime_analysis,
+    run_batched_runtime_analysis,
+    RuntimeResult,
+    BatchedRuntimeResult,
+)
 from repro.eval.device_study import run_device_study, DeviceStudyResult
 from repro.eval.multi_recorder import run_multi_recorder_study, MultiRecorderResult
 from repro.eval.ablation import run_output_mode_ablation, run_dilation_ablation
@@ -46,6 +51,8 @@ __all__ = [
     "run_comparison_study",
     "ComparisonResult",
     "run_runtime_analysis",
+    "run_batched_runtime_analysis",
+    "BatchedRuntimeResult",
     "RuntimeResult",
     "run_device_study",
     "DeviceStudyResult",

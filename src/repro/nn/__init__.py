@@ -26,7 +26,7 @@ from repro.nn.layers import (
     ZeroPad2d,
     LayerNorm,
 )
-from repro.nn.conv import Conv2d
+from repro.nn.conv import Conv2d, strided_im2col
 from repro.nn.recurrent import LSTM, LSTMCell
 from repro.nn.losses import mse_loss, l1_loss, cross_entropy_loss, cosine_embedding_loss
 from repro.nn.optim import SGD, Adam, Optimizer
@@ -49,6 +49,7 @@ __all__ = [
     "ZeroPad2d",
     "LayerNorm",
     "Conv2d",
+    "strided_im2col",
     "LSTM",
     "LSTMCell",
     "mse_loss",

@@ -8,6 +8,9 @@ from hypothesis import strategies as st
 from repro.dsp import (
     amplitude_to_db,
     bandpass_filter,
+    batch_istft,
+    batch_magnitude_spectrogram,
+    batch_stft,
     db_to_amplitude,
     delta_features,
     estimate_formants,
@@ -116,6 +119,49 @@ class TestSTFT:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
             reconstruct_waveform(np.zeros((5, 4)), np.zeros((5, 5)))
+
+
+class TestBatchSTFT:
+    def test_rows_match_single_stft_exactly(self):
+        rng = np.random.default_rng(0)
+        signals = rng.normal(size=(4, SR // 2))
+        batch = batch_stft(signals, 512, 400, 160)
+        assert batch.shape == (4,) + stft(signals[0], 512, 400, 160).shape
+        for row in range(4):
+            np.testing.assert_array_equal(stft(signals[row], 512, 400, 160), batch[row])
+
+    def test_batch_magnitude_matches_single(self):
+        rng = np.random.default_rng(1)
+        signals = rng.normal(size=(3, SR // 4))
+        batch = batch_magnitude_spectrogram(signals, 512, 400, 160)
+        for row in range(3):
+            np.testing.assert_array_equal(
+                magnitude_spectrogram(signals[row], 512, 400, 160), batch[row]
+            )
+
+    def test_short_signals_yield_one_padded_frame(self):
+        signals = np.ones((2, 100))
+        batch = batch_stft(signals, 512, 400, 160)
+        assert batch.shape == (2, 257, 1)
+        np.testing.assert_array_equal(stft(signals[0], 512, 400, 160), batch[0])
+
+    def test_batch_istft_inverts(self):
+        rng = np.random.default_rng(2)
+        signals = rng.normal(size=(2, SR // 2))
+        batch = batch_stft(signals, 512, 400, 100)
+        rebuilt = batch_istft(batch, 400, 100, length=signals.shape[1])
+        assert rebuilt.shape == signals.shape
+        np.testing.assert_allclose(rebuilt[:, 400:-400], signals[:, 400:-400], atol=1e-8)
+        for row in range(2):
+            np.testing.assert_array_equal(
+                istft(batch[row], 400, 100, length=signals.shape[1]), rebuilt[row]
+            )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            batch_stft(np.zeros(100))
+        with pytest.raises(ValueError):
+            batch_istft(np.zeros((5, 4)))
 
 
 class TestLAS:

@@ -1,0 +1,286 @@
+"""Tests for the batched inference engine: protect, protect_batch, streaming.
+
+The engine's contract is strict: every batched/streaming path must be
+*bit-identical* to the segment-at-a-time reference path (``protect_looped``),
+so these tests assert exact array equality, not closeness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audio.signal import AudioSignal
+from repro.core import NECSystem, StreamingProtector
+from repro.core.selector import Selector
+from repro.nn import Conv2d, Tensor
+
+
+@pytest.fixture(scope="module")
+def system(tiny_config):
+    """An enrolled (untrained) NEC system at the tiny geometry."""
+    rng = np.random.default_rng(11)
+    nec = NECSystem(tiny_config, seed=0)
+    reference = AudioSignal(
+        rng.normal(scale=0.1, size=tiny_config.segment_samples), tiny_config.sample_rate
+    )
+    nec.enroll([reference])
+    return nec
+
+
+def _noise(config, num_samples, seed=5):
+    rng = np.random.default_rng(seed)
+    return AudioSignal(rng.normal(scale=0.1, size=num_samples), config.sample_rate)
+
+
+class TestBatchedEquivalence:
+    def test_multi_segment_protect_matches_looped_exactly(self, system, tiny_config):
+        audio = _noise(tiny_config, int(3.4 * tiny_config.segment_samples))
+        looped = system.protect_looped(audio)
+        batched = system.protect(audio)
+        np.testing.assert_array_equal(looped.mixed_spectrogram, batched.mixed_spectrogram)
+        np.testing.assert_array_equal(looped.shadow_spectrogram, batched.shadow_spectrogram)
+        np.testing.assert_array_equal(looped.record_spectrogram, batched.record_spectrogram)
+        np.testing.assert_array_equal(looped.shadow_wave.data, batched.shadow_wave.data)
+
+    def test_segment_matrix_rows_match_protect_segment(self, system, tiny_config):
+        segment = tiny_config.segment_samples
+        matrix = np.stack(
+            [_noise(tiny_config, segment, seed=s).data for s in range(3)]
+        )
+        batched = system.protect_segment_matrix(matrix)
+        for row in range(3):
+            single = system.protect_segment(
+                AudioSignal(matrix[row], tiny_config.sample_rate)
+            )
+            np.testing.assert_array_equal(
+                single.shadow_spectrogram, batched[row].shadow_spectrogram
+            )
+            np.testing.assert_array_equal(
+                single.shadow_wave.data, batched[row].shadow_wave.data
+            )
+
+    def test_small_max_batch_chunks_are_equivalent(self, system, tiny_config):
+        matrix = np.stack(
+            [_noise(tiny_config, tiny_config.segment_samples, seed=s).data for s in range(5)]
+        )
+        whole = system.protect_segment_matrix(matrix, max_batch_segments=16)
+        chunked = system.protect_segment_matrix(matrix, max_batch_segments=2)
+        for a, b in zip(whole, chunked):
+            np.testing.assert_array_equal(a.shadow_wave.data, b.shadow_wave.data)
+
+    def test_segment_matrix_rejects_wrong_width(self, system, tiny_config):
+        with pytest.raises(ValueError):
+            system.protect_segment_matrix(np.zeros((2, tiny_config.segment_samples + 1)))
+
+    def test_segment_matrix_requires_enrollment(self, tiny_config):
+        with pytest.raises(RuntimeError):
+            NECSystem(tiny_config).protect_segment_matrix(
+                np.zeros((1, tiny_config.segment_samples))
+            )
+
+
+class TestSegmentationEdgeCases:
+    def test_empty_audio(self, system, tiny_config):
+        empty = AudioSignal(np.zeros(0), tiny_config.sample_rate)
+        looped = system.protect_looped(empty)
+        batched = system.protect(empty)
+        assert batched.shadow_wave.num_samples == 0
+        # One all-zero segment is still analysed; both paths agree on it.
+        assert batched.mixed_spectrogram.shape == tiny_config.spectrogram_shape
+        np.testing.assert_array_equal(looped.shadow_spectrogram, batched.shadow_spectrogram)
+
+    def test_exactly_one_segment(self, system, tiny_config):
+        audio = _noise(tiny_config, tiny_config.segment_samples)
+        looped = system.protect_looped(audio)
+        batched = system.protect(audio)
+        assert batched.shadow_wave.num_samples == tiny_config.segment_samples
+        assert batched.mixed_spectrogram.shape == tiny_config.spectrogram_shape
+        np.testing.assert_array_equal(looped.shadow_wave.data, batched.shadow_wave.data)
+
+    def test_shorter_than_one_segment(self, system, tiny_config):
+        audio = _noise(tiny_config, tiny_config.segment_samples // 3)
+        batched = system.protect(audio)
+        # The shadow wave is trimmed back to the input length...
+        assert batched.shadow_wave.num_samples == audio.num_samples
+        # ...but the spectrogram covers the full zero-padded segment.
+        assert batched.mixed_spectrogram.shape == tiny_config.spectrogram_shape
+        np.testing.assert_array_equal(
+            system.protect_looped(audio).shadow_wave.data, batched.shadow_wave.data
+        )
+
+    def test_non_multiple_length(self, system, tiny_config):
+        segment = tiny_config.segment_samples
+        audio = _noise(tiny_config, 2 * segment + segment // 2)
+        looped = system.protect_looped(audio)
+        batched = system.protect(audio)
+        assert batched.shadow_wave.num_samples == audio.num_samples
+        # Three segments' worth of frames (the last zero-padded).
+        assert batched.mixed_spectrogram.shape[1] == 3 * tiny_config.num_frames
+        np.testing.assert_array_equal(looped.shadow_wave.data, batched.shadow_wave.data)
+
+    def test_sample_rate_mismatch_rejected(self, system, tiny_config):
+        with pytest.raises(ValueError):
+            system.protect(AudioSignal(np.zeros(100), tiny_config.sample_rate * 2))
+
+
+class TestProtectBatch:
+    def test_matches_individual_protect(self, system, tiny_config):
+        segment = tiny_config.segment_samples
+        clips = [
+            _noise(tiny_config, segment // 2, seed=1),
+            _noise(tiny_config, 2 * segment, seed=2),
+            _noise(tiny_config, segment + 7, seed=3),
+        ]
+        batched = system.protect_batch(clips)
+        assert len(batched) == len(clips)
+        for clip, result in zip(clips, batched):
+            single = system.protect(clip)
+            np.testing.assert_array_equal(single.shadow_wave.data, result.shadow_wave.data)
+            np.testing.assert_array_equal(
+                single.shadow_spectrogram, result.shadow_spectrogram
+            )
+
+    def test_empty_batch(self, system):
+        assert system.protect_batch([]) == []
+
+
+class TestStreamingProtector:
+    def test_chunked_stream_matches_protect(self, system, tiny_config):
+        audio = _noise(tiny_config, int(2.7 * tiny_config.segment_samples))
+        whole = system.protect(audio)
+        protector = StreamingProtector(system)
+        waves = []
+        position = 0
+        for size in (13, 1000, tiny_config.segment_samples, 77, 4000, audio.num_samples):
+            chunk = audio.data[position : position + size]
+            position += len(chunk)
+            for result in protector.feed(chunk):
+                waves.append(result.shadow_wave.data)
+        tail = protector.flush()
+        if tail is not None:
+            waves.append(tail.shadow_wave.data)
+        np.testing.assert_array_equal(np.concatenate(waves), whole.shadow_wave.data)
+
+    def test_carried_over_state(self, system, tiny_config):
+        protector = StreamingProtector(system)
+        half = tiny_config.segment_samples // 2
+        assert protector.feed(np.zeros(half)) == []
+        assert protector.pending_samples == half
+        results = protector.feed(np.zeros(tiny_config.segment_samples))
+        assert len(results) == 1
+        assert protector.pending_samples == half
+        assert protector.segments_emitted == 1
+        assert protector.samples_fed == half + tiny_config.segment_samples
+
+    def test_multiple_segments_in_one_feed(self, system, tiny_config):
+        protector = StreamingProtector(system)
+        audio = _noise(tiny_config, 3 * tiny_config.segment_samples)
+        results = protector.feed(audio)
+        assert len(results) == 3
+        assert protector.pending_samples == 0
+        assert protector.flush() is None
+
+    def test_flush_trims_to_pending(self, system, tiny_config):
+        protector = StreamingProtector(system)
+        protector.feed(np.zeros(123))
+        tail = protector.flush()
+        assert tail is not None
+        assert tail.shadow_wave.num_samples == 123
+        assert protector.pending_samples == 0
+
+    def test_reset_clears_state(self, system, tiny_config):
+        protector = StreamingProtector(system)
+        protector.feed(np.zeros(10))
+        protector.reset()
+        assert protector.pending_samples == 0
+        assert protector.samples_fed == 0
+        assert protector.flush() is None
+
+    def test_sample_rate_checked_for_audio_chunks(self, system, tiny_config):
+        protector = StreamingProtector(system)
+        with pytest.raises(ValueError):
+            protector.feed(AudioSignal(np.zeros(10), tiny_config.sample_rate * 2))
+
+    def test_failed_feed_keeps_buffer_for_retry(self, tiny_config):
+        """A feed that errors (here: not enrolled) must not drop stream audio."""
+        unenrolled = NECSystem(tiny_config, seed=0)
+        protector = StreamingProtector(unenrolled)
+        audio = _noise(tiny_config, tiny_config.segment_samples + 5)
+        with pytest.raises(RuntimeError):
+            protector.feed(audio)
+        assert protector.pending_samples == audio.num_samples
+        rng = np.random.default_rng(11)
+        unenrolled.enroll(
+            [AudioSignal(rng.normal(size=tiny_config.segment_samples), tiny_config.sample_rate)]
+        )
+        results = protector.feed(np.zeros(0))  # retry with no new samples
+        assert len(results) == 1
+        np.testing.assert_array_equal(
+            results[0].shadow_wave.data,
+            unenrolled.protect_segment(
+                AudioSignal(audio.data[: tiny_config.segment_samples], tiny_config.sample_rate)
+            ).shadow_wave.data,
+        )
+
+
+class TestBatchedSelector:
+    def test_forward_batch_matches_forward(self, tiny_config):
+        selector = Selector(tiny_config, seed=0)
+        freq_bins, frames = tiny_config.spectrogram_shape
+        rng = np.random.default_rng(0)
+        specs = np.abs(rng.normal(size=(3, freq_bins, frames)))
+        d_vector = rng.normal(size=tiny_config.embedding_dim)
+        batched = selector.forward_batch(specs, d_vector)
+        assert batched.shape == (3, frames, freq_bins)
+        for row in range(3):
+            single = selector(Tensor(specs[row]), Tensor(d_vector)).data
+            np.testing.assert_array_equal(single, batched[row])
+
+    def test_forward_batch_spectrogram_mode(self, tiny_config):
+        config = tiny_config.with_output_mode("spectrogram")
+        selector = Selector(config, seed=0)
+        freq_bins, frames = config.spectrogram_shape
+        rng = np.random.default_rng(1)
+        specs = np.abs(rng.normal(size=(2, freq_bins, frames)))
+        d_vector = rng.normal(size=config.embedding_dim)
+        batched = selector.shadow_spectrogram_batch(specs, d_vector)
+        for row in range(2):
+            np.testing.assert_array_equal(
+                selector.shadow_spectrogram(specs[row], d_vector), batched[row]
+            )
+
+    def test_forward_batch_rejects_bad_shapes(self, tiny_config):
+        selector = Selector(tiny_config, seed=0)
+        with pytest.raises(ValueError):
+            selector.forward_batch(np.zeros((5, 4)), np.zeros(tiny_config.embedding_dim))
+        with pytest.raises(ValueError):
+            selector.forward_batch(np.zeros((1, 10, 5)), np.zeros(tiny_config.embedding_dim))
+
+    def test_forward_batch_empty_batch(self, tiny_config):
+        selector = Selector(tiny_config, seed=0)
+        freq_bins, frames = tiny_config.spectrogram_shape
+        out = selector.forward_batch(np.zeros((0, freq_bins, frames)), np.zeros(tiny_config.embedding_dim))
+        assert out.shape == (0, frames, freq_bins)
+
+
+class TestConvInfer:
+    @pytest.mark.parametrize(
+        "kernel,stride,padding,dilation",
+        [
+            ((3, 3), 1, (1, 1), (1, 1)),
+            ((1, 7), 1, (0, 3), (1, 1)),
+            ((5, 5), 1, (8, 2), (4, 1)),
+            ((3, 3), 2, (1, 1), (1, 1)),
+            ((3, 3), 1, "same", (3, 3)),
+        ],
+    )
+    def test_infer_matches_forward(self, kernel, stride, padding, dilation):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(3, 4, kernel, stride=stride, padding=padding, dilation=dilation, rng=rng)
+        x = rng.normal(size=(2, 3, 20, 17))
+        expected = conv(Tensor(x)).data
+        np.testing.assert_array_equal(expected, conv.infer(x))
+
+    def test_infer_rejects_non_4d(self):
+        conv = Conv2d(1, 1, (3, 3))
+        with pytest.raises(ValueError):
+            conv.infer(np.zeros((3, 3)))
