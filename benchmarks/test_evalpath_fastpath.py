@@ -1,0 +1,56 @@
+"""Evaluation fast path: vectorized DTW/iSTFT kernels, cached plans, driver.
+
+Times every fast-path kernel against its kept ``*_reference`` seed
+implementation, asserts the headline speedups (>= 5x on the recogniser's DTW
+kernel, >= 2x on ``batch_istft``) with the old-vs-new equivalence flags, and
+writes the per-kernel numbers to ``BENCH_evalpath.json`` — the perf-trajectory
+artifact uploaded by CI (override the path with ``BENCH_EVALPATH_JSON``).
+"""
+
+import json
+import os
+
+from repro.eval.runtime import run_eval_fastpath_analysis
+
+_DEFAULT_ARTIFACT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_evalpath.json"
+)
+
+
+def _targets_met(result):
+    return (
+        result.kernel("dtw_recognizer").speedup >= 5.0
+        and result.kernel("batch_istft").speedup >= 2.0
+        and result.kernel("batched_driver").speedup >= 0.8
+    )
+
+
+def _analysis_with_retry():
+    """One retry if a speedup target narrowly misses (shared-machine noise)."""
+    result = run_eval_fastpath_analysis(repetitions=5)
+    if not _targets_met(result):
+        result = run_eval_fastpath_analysis(repetitions=9)
+    return result
+
+
+def test_eval_fastpath_speedups(benchmark):
+    result = benchmark.pedantic(_analysis_with_retry, rounds=1, iterations=1)
+    print("\n[Eval fast path] old vs new kernel latency (best-of-N):")
+    print(result.table())
+
+    artifact_path = os.environ.get("BENCH_EVALPATH_JSON", _DEFAULT_ARTIFACT)
+    with open(artifact_path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+    print(f"  wrote perf artifact: {artifact_path}")
+
+    # Every kernel must agree with its seed reference implementation.
+    assert result.all_equivalent
+    # The headline targets of the fast path.
+    dtw = result.kernel("dtw_recognizer")
+    assert dtw.speedup >= 5.0, f"DTW kernel speedup {dtw.speedup:.2f}x < 5x"
+    istft_kernel = result.kernel("batch_istft")
+    assert istft_kernel.speedup >= 2.0, f"batch_istft speedup {istft_kernel.speedup:.2f}x < 2x"
+    # The driver must never be slower than the per-instance loop by more than
+    # measurement noise (its value is equivalence + a single entry point).
+    driver = result.kernel("batched_driver")
+    assert driver.speedup >= 0.8, f"batched driver regressed: {driver.speedup:.2f}x"

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.asr.dtw import dtw_distance
+from repro.asr.dtw import dtw_distance_many, dtw_distance_reference
 from repro.asr.segmentation import segment_words
 from repro.audio.lexicon import LEXICON
 from repro.audio.signal import AudioSignal
@@ -29,6 +29,20 @@ class TranscriptionResult:
 
     def wer(self, reference: str) -> float:
         return word_error_rate(reference, self.words)
+
+
+#: Enrolled template banks shared across recogniser instances.  Enrollment
+#: synthesises every lexicon word for every template speaker and extracts MFCC
+#: sequences — by far the most expensive part of building a recogniser — and
+#: is fully determined by the key below, so benchmark runs that construct a
+#: recogniser per study stop re-synthesising the whole lexicon each time.
+#: Banks are read-only after enrollment; instances share them by reference.
+_TEMPLATE_CACHE: Dict[Tuple, Dict[str, List[np.ndarray]]] = {}
+
+
+def clear_template_cache() -> None:
+    """Drop all cached template enrollments (mainly for tests)."""
+    _TEMPLATE_CACHE.clear()
 
 
 class TemplateRecognizer:
@@ -58,8 +72,29 @@ class TemplateRecognizer:
         self.vocabulary = sorted(vocabulary) if vocabulary is not None else sorted(LEXICON)
         self.num_coefficients = num_coefficients
         self.rejection_threshold = rejection_threshold
-        self._templates: Dict[str, List[np.ndarray]] = {}
-        self._enroll(num_template_speakers, seed)
+        cache_key = (
+            sample_rate,
+            tuple(self.vocabulary),
+            num_template_speakers,
+            num_coefficients,
+            seed,
+        )
+        cached = _TEMPLATE_CACHE.get(cache_key)
+        if cached is not None:
+            self._templates: Dict[str, List[np.ndarray]] = cached
+        else:
+            self._templates = {}
+            self._enroll(num_template_speakers, seed)
+            _TEMPLATE_CACHE[cache_key] = self._templates
+        # Flat view of the bank for the batched DTW kernel: one template list
+        # plus the word each entry decodes to, in the same iteration order the
+        # reference per-template loop uses (so tie-breaking matches exactly).
+        self._template_words: List[str] = []
+        self._template_bank: List[np.ndarray] = []
+        for word, templates in self._templates.items():
+            for template in templates:
+                self._template_words.append(word)
+                self._template_bank.append(template)
 
     # -- enrollment -----------------------------------------------------------
     def _features(self, samples: np.ndarray) -> np.ndarray:
@@ -95,11 +130,30 @@ class TemplateRecognizer:
 
     # -- decoding --------------------------------------------------------------
     def _classify_segment(self, features: np.ndarray) -> tuple:
+        """Best-matching vocabulary word via one batched DTW over the bank.
+
+        All templates are scored in a single :func:`dtw_distance_many` call
+        (shared Gram blocks, anti-diagonal accumulation, early abandoning by
+        the running best); ``np.argmin`` keeps the reference loop's
+        first-strictly-smaller tie-breaking because the bank preserves the
+        template iteration order.
+        """
+        if not self._template_bank:
+            return self.OOV_TOKEN, float("inf")
+        distances = dtw_distance_many(features, self._template_bank, early_abandon=True)
+        index = int(np.argmin(distances))
+        best_distance = float(distances[index])
+        if not np.isfinite(best_distance) or best_distance > self.rejection_threshold:
+            return self.OOV_TOKEN, best_distance
+        return self._template_words[index], best_distance
+
+    def _classify_segment_reference(self, features: np.ndarray) -> tuple:
+        """The seed per-template loop, kept as the equivalence ground truth."""
         best_word = self.OOV_TOKEN
         best_distance = np.inf
         for word, templates in self._templates.items():
             for template in templates:
-                distance = dtw_distance(features, template)
+                distance = dtw_distance_reference(features, template)
                 if distance < best_distance:
                     best_distance = distance
                     best_word = word

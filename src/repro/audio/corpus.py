@@ -10,6 +10,7 @@ enrollment) and train/test splits.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -85,9 +86,17 @@ class SyntheticCorpus:
         seed: int = 0,
         duration: Optional[float] = None,
     ) -> Utterance:
-        """Synthesise one utterance; deterministic for a given (speaker, text, seed)."""
+        """Synthesise one utterance; deterministic for a given (speaker, text, seed).
+
+        The per-utterance stream is seeded with a *stable* hash: Python's
+        built-in ``hash()`` is salted per process (and ``hash(None)`` follows
+        the interpreter's address-space layout), which silently made every
+        corpus realisation — and thus every benchmark quality gate —
+        process-dependent.
+        """
         profile = self.profile(speaker_id)
-        rng = np.random.default_rng(hash((speaker_id, text, seed, self.seed)) % (2**32))
+        key = f"{speaker_id}|{text}|{seed}|{self.seed}".encode()
+        rng = np.random.default_rng(zlib.crc32(key))
         if text is None:
             text = SENTENCES[int(rng.integers(len(SENTENCES)))]
         audio = self.synthesizer.synthesize_sentence(text, profile, rng)

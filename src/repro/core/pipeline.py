@@ -302,6 +302,7 @@ class NECSystem:
         nec_distance_m: Optional[float] = None,
         processing_delay_s: float = 0.0,
         enabled: bool = True,
+        protection: Optional[ProtectionResult] = None,
     ) -> AudioSignal:
         """Record the full scene at a (simulated) smartphone.
 
@@ -310,13 +311,21 @@ class NECSystem:
         speaker is at the recorder's position (Alice records herself).  With
         ``enabled=False`` the same scene is recorded without NEC — the "mixed"
         baseline of the evaluation.
+
+        ``protection`` lets callers supply a precomputed shadow for the scene's
+        target+background mix (it does not depend on the recording geometry, so
+        e.g. a distance sweep computes it once — via the eval harness's batched
+        driver — and re-records the same shadow at every distance).
         """
         sources: List[SceneSource] = [SceneSource(target_audio, distance_m, label="target")]
         if background_audio is not None:
             sources.append(SceneSource(background_audio, 0.05, label="background"))
         if enabled:
-            nec_mix = target_audio if background_audio is None else target_audio + background_audio
-            protection = self.protect(nec_mix)
+            if protection is None:
+                nec_mix = (
+                    target_audio if background_audio is None else target_audio + background_audio
+                )
+                protection = self.protect(nec_mix)
             broadcast = self.broadcast(protection)
             sources.append(
                 SceneSource(

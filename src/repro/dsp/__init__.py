@@ -12,8 +12,11 @@ from repro.dsp.windows import hann_window, hamming_window, rectangular_window, g
 from repro.dsp.stft import (
     stft,
     istft,
+    istft_reference,
     batch_stft,
     batch_istft,
+    batch_istft_reference,
+    clear_ola_plan_cache,
     magnitude,
     magnitude_spectrogram,
     batch_magnitude_spectrogram,
@@ -39,6 +42,9 @@ from repro.dsp.features import (
 )
 from repro.dsp.lpc import lpc_coefficients, estimate_formants
 from repro.dsp.filters import (
+    butter_sos,
+    filter_design_cache_info,
+    clear_filter_design_cache,
     lowpass_filter,
     highpass_filter,
     bandpass_filter,
@@ -56,8 +62,11 @@ __all__ = [
     "get_window",
     "stft",
     "istft",
+    "istft_reference",
     "batch_stft",
     "batch_istft",
+    "batch_istft_reference",
+    "clear_ola_plan_cache",
     "magnitude",
     "magnitude_spectrogram",
     "batch_magnitude_spectrogram",
@@ -78,6 +87,9 @@ __all__ = [
     "delta_features",
     "lpc_coefficients",
     "estimate_formants",
+    "butter_sos",
+    "filter_design_cache_info",
+    "clear_filter_design_cache",
     "lowpass_filter",
     "highpass_filter",
     "bandpass_filter",

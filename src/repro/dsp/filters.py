@@ -1,9 +1,60 @@
-"""Classical filters, delays and level utilities."""
+"""Classical filters, delays and level utilities.
+
+Butterworth designs are memoised: the channel simulation applies the same
+handful of filters (the 192 kHz ADC anti-aliasing low-pass, the microphone
+band-pass, the demodulation low-pass) to every scene source of every
+instance, and ``scipy.signal.butter`` costs as much as filtering a short
+signal.  :func:`butter_sos` caches each design keyed on the normalised
+cutoff(s), order and band type — equal ``(order, cutoffs, rate, btype)``
+requests share one immutable SOS array.
+"""
 
 from __future__ import annotations
 
+from functools import lru_cache
+from typing import Optional, Tuple
+
 import numpy as np
 from scipy import signal as sps
+
+
+@lru_cache(maxsize=None)
+def _butter_sos_cached(order: int, low: float, high: Optional[float], btype: str) -> np.ndarray:
+    critical = low if high is None else [low, high]
+    sos = sps.butter(order, critical, btype=btype, output="sos")
+    sos.setflags(write=False)  # the cached master copy must stay immutable
+    return sos
+
+
+def butter_sos(
+    order: int, cutoffs_hz: Tuple[float, ...], sample_rate: float, btype: str
+) -> np.ndarray:
+    """A (cached) Butterworth second-order-sections design.
+
+    ``cutoffs_hz`` holds one corner frequency for ``low``/``high`` designs and
+    two for ``band``.  Designs are keyed on the *normalised* cutoffs, so e.g.
+    a 24 kHz low-pass at 192 kHz and a 2 kHz low-pass at 16 kHz share one
+    entry.  Returns a writable copy of the cached design.
+    """
+    nyquist = sample_rate / 2.0
+    normalised = tuple(float(cutoff) / nyquist for cutoff in cutoffs_hz)
+    if len(normalised) == 1:
+        sos = _butter_sos_cached(order, normalised[0], None, btype)
+    else:
+        sos = _butter_sos_cached(order, normalised[0], normalised[1], btype)
+    # scipy's sosfilt kernel requires a writable buffer; hand out a copy of
+    # the immutable master (a few dozen floats — negligible next to a design).
+    return sos.copy()
+
+
+def filter_design_cache_info():
+    """Hit/miss statistics of the Butterworth design cache (for diagnostics)."""
+    return _butter_sos_cached.cache_info()
+
+
+def clear_filter_design_cache() -> None:
+    """Drop all memoised Butterworth designs (mainly for tests)."""
+    _butter_sos_cached.cache_clear()
 
 
 def lowpass_filter(
@@ -18,7 +69,7 @@ def lowpass_filter(
     nyquist = sample_rate / 2.0
     if not 0 < cutoff_hz < nyquist:
         raise ValueError(f"cutoff must be in (0, {nyquist}) Hz, got {cutoff_hz}")
-    sos = sps.butter(order, cutoff_hz / nyquist, btype="low", output="sos")
+    sos = butter_sos(order, (cutoff_hz,), sample_rate, "low")
     return sps.sosfiltfilt(sos, np.asarray(signal, dtype=np.float64))
 
 
@@ -29,7 +80,7 @@ def highpass_filter(
     nyquist = sample_rate / 2.0
     if not 0 < cutoff_hz < nyquist:
         raise ValueError(f"cutoff must be in (0, {nyquist}) Hz, got {cutoff_hz}")
-    sos = sps.butter(order, cutoff_hz / nyquist, btype="high", output="sos")
+    sos = butter_sos(order, (cutoff_hz,), sample_rate, "high")
     return sps.sosfiltfilt(sos, np.asarray(signal, dtype=np.float64))
 
 
@@ -44,7 +95,7 @@ def bandpass_filter(
     nyquist = sample_rate / 2.0
     if not 0 < low_hz < high_hz < nyquist:
         raise ValueError("require 0 < low < high < Nyquist")
-    sos = sps.butter(order, [low_hz / nyquist, high_hz / nyquist], btype="band", output="sos")
+    sos = butter_sos(order, (low_hz, high_hz), sample_rate, "band")
     return sps.sosfiltfilt(sos, np.asarray(signal, dtype=np.float64))
 
 

@@ -7,7 +7,12 @@ mapping between experiments and paper artefacts is listed in ``DESIGN.md``
 ``EXPERIMENTS.md``.
 """
 
-from repro.eval.common import ExperimentContext, prepare_context
+from repro.eval.common import (
+    ExperimentContext,
+    batched_protections,
+    prepare_context,
+    probe_broadcasts,
+)
 from repro.eval.reporting import format_table, summarize
 from repro.eval.datasets import BenchmarkDataset, compile_benchmark_dataset
 from repro.eval.las_study import (
@@ -23,8 +28,11 @@ from repro.eval.comparison import run_comparison_study, ComparisonResult
 from repro.eval.runtime import (
     run_runtime_analysis,
     run_batched_runtime_analysis,
+    run_eval_fastpath_analysis,
     RuntimeResult,
     BatchedRuntimeResult,
+    EvalFastpathResult,
+    KernelTiming,
 )
 from repro.eval.device_study import run_device_study, DeviceStudyResult
 from repro.eval.multi_recorder import run_multi_recorder_study, MultiRecorderResult
@@ -32,7 +40,9 @@ from repro.eval.ablation import run_output_mode_ablation, run_dilation_ablation
 
 __all__ = [
     "ExperimentContext",
+    "batched_protections",
     "prepare_context",
+    "probe_broadcasts",
     "format_table",
     "summarize",
     "BenchmarkDataset",
@@ -52,7 +62,10 @@ __all__ = [
     "ComparisonResult",
     "run_runtime_analysis",
     "run_batched_runtime_analysis",
+    "run_eval_fastpath_analysis",
     "BatchedRuntimeResult",
+    "EvalFastpathResult",
+    "KernelTiming",
     "RuntimeResult",
     "run_device_study",
     "DeviceStudyResult",

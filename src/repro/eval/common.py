@@ -15,14 +15,15 @@ the deviation is recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.audio.corpus import SyntheticCorpus
+from repro.audio.signal import AudioSignal
 from repro.core.config import NECConfig
 from repro.core.encoder import SpeakerEncoder, SpectralEncoder
-from repro.core.pipeline import NECSystem
+from repro.core.pipeline import NECSystem, ProtectionResult
 from repro.core.selector import Selector
 from repro.core.training import SelectorTrainer, TrainingHistory, build_training_examples
 
@@ -53,6 +54,57 @@ class ExperimentContext:
             system.enroll(references)
             self._systems[target_speaker] = system
         return self._systems[target_speaker]
+
+
+def batched_protections(
+    context: "ExperimentContext",
+    jobs: Sequence[Tuple[str, AudioSignal]],
+    max_batch_segments: int = 16,
+) -> List[ProtectionResult]:
+    """The shared batched driver of the evaluation harness.
+
+    ``jobs`` is a sequence of ``(target_speaker, mixed_audio)`` pairs — e.g.
+    every instance of a benchmark dataset.  Jobs are grouped per target
+    speaker and each group goes through **one**
+    :meth:`NECSystem.protect_batch` call, so all segments of all of a
+    speaker's instances share stacked STFTs and Selector forward passes
+    instead of paying one full ``protect`` per instance.  Results come back
+    in job order and are bit-identical to
+    ``[context.system_for(s).protect(a) for s, a in jobs]`` (the batched
+    engine's per-row equivalence is pinned by ``tests/test_pipeline_batch.py``
+    and the driver's by ``tests/test_fastpath.py``).
+    """
+    grouped: Dict[str, List[int]] = {}
+    for index, (speaker, _audio) in enumerate(jobs):
+        grouped.setdefault(speaker, []).append(index)
+    results: List[Optional[ProtectionResult]] = [None] * len(jobs)
+    for speaker, indices in grouped.items():
+        system = context.system_for(speaker)
+        batch = system.protect_batch(
+            [jobs[index][1] for index in indices],
+            max_batch_segments=max_batch_segments,
+        )
+        for index, result in zip(indices, batch):
+            results[index] = result
+    return results  # type: ignore[return-value]
+
+
+def probe_broadcasts(
+    probe: AudioSignal, carriers_khz: Sequence[float]
+) -> Dict[float, AudioSignal]:
+    """AM broadcasts of one probe tone at several carriers, computed once each.
+
+    The channel studies (Table III, Fig. 15) replay the same probe at many
+    ``(carrier, distance)`` grid points; modulation (resample to 192 kHz +
+    mixing onto the carrier) only depends on the carrier, so the sweep shares
+    one broadcast per carrier instead of re-modulating per grid point.
+    """
+    from repro.channel.ultrasound import UltrasoundSpeaker
+
+    return {
+        float(carrier): UltrasoundSpeaker(carrier_hz=float(carrier) * 1000.0).broadcast(probe)
+        for carrier in carriers_khz
+    }
 
 
 def prepare_context(

@@ -10,7 +10,7 @@ import numpy as np
 from repro.audio.signal import AudioSignal
 from repro.channel.devices import DEVICE_TABLE, DeviceProfile, get_device
 from repro.channel.recorder import Recorder, SceneSource
-from repro.channel.ultrasound import UltrasoundSpeaker
+from repro.eval.common import probe_broadcasts
 from repro.eval.reporting import format_table
 
 
@@ -46,14 +46,17 @@ class DeviceStudyResult:
 
 def _demodulated_energy(
     device: DeviceProfile,
-    probe: AudioSignal,
+    broadcast: AudioSignal,
     carrier_khz: float,
     distance_m: float,
     seed: int = 0,
 ) -> float:
-    """Energy of the demodulated probe tone at the device's recording output."""
-    speaker = UltrasoundSpeaker(carrier_hz=carrier_khz * 1000.0)
-    broadcast = speaker.broadcast(probe)
+    """Energy of the demodulated probe tone at the device's recording output.
+
+    ``broadcast`` is the already-modulated probe at ``carrier_khz`` (shared
+    across the whole ``(device, carrier, distance)`` grid — see
+    :func:`repro.eval.common.probe_broadcasts`).
+    """
     recorder = Recorder(device, seed=seed)
     recorded = recorder.record_scene(
         [SceneSource(broadcast, distance_m, is_ultrasound=True, carrier_khz=carrier_khz)]
@@ -81,19 +84,23 @@ def run_device_study(
     device_names = list(devices) if devices is not None else sorted(DEVICE_TABLE)
     if carrier_grid_khz is None:
         carrier_grid_khz = np.arange(20.0, 34.0 + 1e-9, 1.0)
-    rng = np.random.default_rng(seed)
     t = np.arange(int(probe_seconds * sample_rate)) / sample_rate
     probe = AudioSignal(
         0.4 * np.sin(2 * np.pi * 400.0 * t) + 0.3 * np.sin(2 * np.pi * 900.0 * t),
         sample_rate,
     )
+    # One AM broadcast per carrier, shared by every (device, distance) grid
+    # point: modulation does not depend on the receiving device or distance.
+    broadcasts = probe_broadcasts(probe, carrier_grid_khz)
 
     result = DeviceStudyResult()
     for name in device_names:
         device = get_device(name)
         energies = np.array(
             [
-                _demodulated_energy(device, probe, carrier, distance_m=0.5, seed=seed)
+                _demodulated_energy(
+                    device, broadcasts[float(carrier)], carrier, distance_m=0.5, seed=seed
+                )
                 for carrier in carrier_grid_khz
             ]
         )
@@ -110,11 +117,15 @@ def run_device_study(
             low = high = best = float("nan")
 
         # Maximum effective distance: furthest distance at which the
-        # demodulated shadow still carries non-trivial energy relative to 0.5 m.
-        reference_energy = _demodulated_energy(device, probe, best, 0.5, seed=seed)
+        # demodulated shadow still carries non-trivial energy relative to
+        # 0.5 m.  The 0.5 m reference is exactly the sweep measurement at the
+        # best carrier — reuse it instead of recording the scene again.
+        reference_energy = float(energies[int(np.argmax(energies))])
         max_distance = 0.0
-        for distance in distance_grid_m:
-            energy = _demodulated_energy(device, probe, best, distance, seed=seed)
+        for distance in distance_grid_m if np.isfinite(best) else ():
+            energy = _demodulated_energy(
+                device, broadcasts[best], best, distance, seed=seed
+            )
             if reference_energy > 0 and energy > 0.01 * reference_energy:
                 max_distance = float(distance)
         result.devices.append(

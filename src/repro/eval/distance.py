@@ -10,7 +10,7 @@ import numpy as np
 from repro.audio.signal import AudioSignal
 from repro.channel.propagation import propagate, spl_at_distance
 from repro.channel.recorder import Recorder, SceneSource
-from repro.eval.common import ExperimentContext, prepare_context
+from repro.eval.common import ExperimentContext, batched_protections, prepare_context
 from repro.eval.reporting import format_table
 from repro.metrics.sonr import sonr
 
@@ -158,6 +158,10 @@ def run_sonr_study(
     bob = corpus.utterance(target, seed=seed, duration=duration).audio
     alice = corpus.utterance(other, seed=seed + 3, duration=duration).audio
     system = context.system_for(target)
+    # The shadow depends only on the mixed audio, not the recording distance:
+    # compute it once through the shared batched driver and re-record it at
+    # every distance instead of re-running protect per sweep point.
+    protection = batched_protections(context, [(target, bob + alice)])[0]
     result = SonrResult()
     for distance in distances_m:
         recorder_off = Recorder(device, seed=seed)
@@ -167,7 +171,7 @@ def run_sonr_study(
             bob, alice, recorder_off, distance_m=distance, enabled=False
         )
         recorded_on = system.record_over_the_air(
-            bob, alice, recorder_on, distance_m=distance, enabled=True
+            bob, alice, recorder_on, distance_m=distance, enabled=True, protection=protection
         )
         bob_received = bob_only_recorder.record_scene([SceneSource(bob, distance)])
         result.points.append(

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.audio.mixing import joint_conversation
 from repro.core.overshadow import OffsetPoint, mixed_reference_point, offset_study
-from repro.eval.common import ExperimentContext, prepare_context
+from repro.eval.common import ExperimentContext, batched_protections, prepare_context
 from repro.eval.reporting import format_table
 
 
@@ -70,8 +70,8 @@ def run_offset_study(
         )
         shadow_wave = shadow_waveform(mixed, background_spec - mixed_spec, config)
     else:
-        system = context.system_for(target)
-        shadow_wave = system.protect(mixed).shadow_wave
+        # Route through the shared batched driver (one protect_batch call).
+        shadow_wave = batched_protections(context, [(target, mixed)])[0].shadow_wave
     points = offset_study(
         mixed,
         shadow_wave,

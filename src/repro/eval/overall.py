@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.asr.recognizer import TemplateRecognizer
-from repro.eval.common import ExperimentContext, prepare_context
+from repro.eval.common import ExperimentContext, batched_protections, prepare_context
 from repro.eval.datasets import BenchmarkDataset, compile_benchmark_dataset
 from repro.eval.reporting import format_table, summarize
 from repro.metrics.sdr import sdr
@@ -51,7 +51,15 @@ class OverallResult:
             "wer_background_mixed",
             "wer_background_recorded",
         ]
-        return {name: summarize(self._series(name)) for name in names if self._series(name)}
+        # One pass per metric: the series used for the emptiness check is the
+        # same one that gets summarised (the old comprehension evaluated
+        # ``self._series(name)`` twice per metric).
+        result: Dict[str, Dict[str, float]] = {}
+        for name in names:
+            series = self._series(name)
+            if series:
+                result[name] = summarize(series)
+        return result
 
     def hide_target_effective(self) -> bool:
         """Did NEC lower the target's SDR in the recording (the headline claim)?"""
@@ -102,9 +110,13 @@ def run_overall_benchmark(
         recognizer = TemplateRecognizer(sample_rate=config.sample_rate, seed=seed)
 
     result = OverallResult()
-    for instance in dataset.instances:
+    # All instances go through the shared batched driver: one protect_batch
+    # per target speaker instead of one full protect per instance.
+    protections = batched_protections(
+        context, [(instance.target_speaker, instance.mixed) for instance in dataset.instances]
+    )
+    for instance, protection in zip(dataset.instances, protections):
         system = context.system_for(instance.target_speaker)
-        protection = system.protect(instance.mixed)
         recorded = system.superpose(instance.mixed, protection)
         measurement = InstanceMeasurement(
             scenario=instance.scenario,
