@@ -21,7 +21,7 @@ def _targets_met(result):
     return (
         result.kernel("dtw_recognizer").speedup >= 5.0
         and result.kernel("batch_istft").speedup >= 2.0
-        and result.kernel("batched_driver").speedup >= 0.8
+        and result.kernel("batched_driver").speedup >= 1.0
     )
 
 
@@ -50,7 +50,8 @@ def test_eval_fastpath_speedups(benchmark):
     assert dtw.speedup >= 5.0, f"DTW kernel speedup {dtw.speedup:.2f}x < 5x"
     istft_kernel = result.kernel("batch_istft")
     assert istft_kernel.speedup >= 2.0, f"batch_istft speedup {istft_kernel.speedup:.2f}x < 2x"
-    # The driver must never be slower than the per-instance loop by more than
-    # measurement noise (its value is equivalence + a single entry point).
+    # The driver must beat the per-instance loop outright: the batched iSTFT
+    # and the cache-sized default chunk put it at ~1.1x, so anything below
+    # 1.0x is a real regression, not noise (the retry above absorbs flakes).
     driver = result.kernel("batched_driver")
-    assert driver.speedup >= 0.8, f"batched driver regressed: {driver.speedup:.2f}x"
+    assert driver.speedup >= 1.0, f"batched driver regressed: {driver.speedup:.2f}x"

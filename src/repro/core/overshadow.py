@@ -12,6 +12,7 @@ from repro.core.config import NECConfig
 from repro.dsp.stft import istft, stft
 from repro.metrics.cosine import cosine_distance
 from repro.metrics.sdr import sdr
+from repro.nn.precision import active_policy
 
 
 def superpose_spectrograms(mixed: np.ndarray, shadow: np.ndarray) -> np.ndarray:
@@ -19,10 +20,12 @@ def superpose_spectrograms(mixed: np.ndarray, shadow: np.ndarray) -> np.ndarray:
 
     The shadow spectrogram is signed (it subtracts the target's contribution);
     magnitudes cannot go negative, hence the floor.  Accepts single ``(F, T)``
-    spectrograms or stacked ``(N, F, T)`` batches — the op is elementwise.
+    spectrograms or stacked ``(N, F, T)`` batches — the op is elementwise and
+    runs in the active precision policy's real dtype.
     """
-    mixed = np.asarray(mixed, dtype=np.float64)
-    shadow = np.asarray(shadow, dtype=np.float64)
+    policy = active_policy()
+    mixed = policy.real(np.asarray(mixed))
+    shadow = policy.real(np.asarray(shadow))
     if mixed.shape != shadow.shape:
         raise ValueError(f"shape mismatch: mixed {mixed.shape} vs shadow {shadow.shape}")
     return np.maximum(mixed + shadow, 0.0)
@@ -63,7 +66,7 @@ def shadow_waveform_from_stft(
     second full STFT per segment while producing the identical waveform.
     """
     mixed_stft = np.asarray(mixed_stft)
-    shadow = np.asarray(shadow_spectrogram, dtype=np.float64)
+    shadow = active_policy().real(np.asarray(shadow_spectrogram))
     frames = min(mixed_stft.shape[1], shadow.shape[1])
     phase = np.exp(1j * np.angle(mixed_stft[:, :frames]))
     complex_shadow = shadow[:, :frames] * phase

@@ -26,11 +26,11 @@ from repro.core.encoder import SpeakerEncoder, SpectralEncoder
 from repro.core.overshadow import (
     apply_offsets,
     shadow_waveform,
-    shadow_waveform_from_stft,
     superpose_spectrograms,
 )
 from repro.core.selector import Selector
-from repro.dsp.stft import batch_stft, magnitude, magnitude_spectrogram
+from repro.dsp.stft import batch_istft, batch_stft, magnitude, magnitude_spectrogram
+from repro.nn.precision import active_policy
 
 
 @dataclass
@@ -150,9 +150,12 @@ class NECSystem:
         One complex STFT and one Selector forward pass cover the whole batch
         (chunked at ``max_batch_segments`` to bound the im2col working set).
         Returns one full-segment :class:`ProtectionResult` per row, each
-        bit-identical to :meth:`protect_segment` on that row.
+        bit-identical to :meth:`protect_segment` on that row (under the default
+        float64 policy; under a reduced-precision policy the whole engine runs
+        in the policy's dtype, gated by ``tests/test_precision.py``).
         """
-        matrix = np.asarray(segment_matrix, dtype=np.float64)
+        policy = active_policy()
+        matrix = policy.real(np.asarray(segment_matrix))
         if matrix.ndim != 2 or matrix.shape[1] != self.config.segment_samples:
             raise ValueError(
                 f"expected a (N, {self.config.segment_samples}) segment matrix, "
@@ -169,19 +172,25 @@ class NECSystem:
             mixed_specs = magnitude(stfts)
             shadow_specs = self.selector.shadow_spectrogram_batch(mixed_specs, embedding)
             record_specs = superpose_spectrograms(mixed_specs, shadow_specs)
-            for row, mixed_stft in enumerate(stfts):
-                wave = shadow_waveform_from_stft(
-                    mixed_stft,
-                    shadow_specs[row],
-                    self.config,
-                    length=self.config.segment_samples,
-                )
+            # One batched iSTFT inverts every shadow of the chunk at once.
+            # Each row of batch_istft equals istft of that row bit for bit
+            # (pinned by the test suite), so this matches the per-row
+            # shadow_waveform_from_stft loop it replaced exactly while
+            # keeping the inversion out of Python-level iteration.
+            phases = np.exp(1j * np.angle(stfts))
+            waves = batch_istft(
+                shadow_specs * phases,
+                self.config.win_length,
+                self.config.hop_length,
+                length=self.config.segment_samples,
+            )
+            for row in range(chunk.shape[0]):
                 results.append(
                     ProtectionResult(
                         mixed_audio=AudioSignal(chunk[row], self.config.sample_rate),
                         mixed_spectrogram=mixed_specs[row],
                         shadow_spectrogram=shadow_specs[row],
-                        shadow_wave=wave,
+                        shadow_wave=AudioSignal(waves[row], self.config.sample_rate),
                         record_spectrogram=record_specs[row],
                     )
                 )

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.config import NECConfig
 from repro.nn import Conv2d, Dense, Module, ReLU, Tensor
+from repro.nn.precision import active_policy
 
 
 class Selector(Module):
@@ -127,23 +128,27 @@ class Selector(Module):
 
         Every operation mirrors :meth:`forward` exactly — same log-compression
         constants, same column layout, same matmul shapes per segment (the
-        batch axis only broadcasts) — so row ``n`` is bit-identical to
-        ``forward(mixed_spectrograms[n], d_vector)``.  The convolutions run
-        through :meth:`Conv2d.infer`, which skips autograd bookkeeping and the
-        per-sample fancy-index construction; this is where the batched engine
-        earns its throughput.
+        batch axis only broadcasts) — so under the default float64 policy row
+        ``n`` is bit-identical to ``forward(mixed_spectrograms[n], d_vector)``.
+        The convolutions run through :meth:`Conv2d.infer`, which skips autograd
+        bookkeeping and the per-sample fancy-index construction; this is where
+        the batched engine earns its throughput.  Under a reduced-precision
+        policy (:mod:`repro.nn.precision`) the whole pass runs in the policy's
+        real dtype — the evaluation fast path, gated by the tolerance suite in
+        ``tests/test_precision.py``.
         """
-        batch = np.asarray(mixed_spectrograms, dtype=np.float64)
+        policy = active_policy()
+        batch = policy.real(np.asarray(mixed_spectrograms))
         if batch.ndim != 3:
             raise ValueError("forward_batch expects a (N, F, T) batch of spectrograms")
-        d_vector = np.asarray(d_vector, dtype=np.float64)
+        d_vector = policy.real(np.asarray(d_vector))
         num_segments, freq_bins, frames = batch.shape
         if freq_bins != self.config.frequency_bins:
             raise ValueError(
                 f"expected {self.config.frequency_bins} frequency bins, got {freq_bins}"
             )
         if num_segments == 0:
-            return np.zeros((0, frames, freq_bins))
+            return np.zeros((0, frames, freq_bins), dtype=policy.real_dtype)
 
         # Same dynamic-range compression as forward(): Tensor.log adds its own
         # 1e-12 epsilon on top of the 1e-6 offset.
@@ -174,9 +179,9 @@ class Selector(Module):
 
         # The (N, T, in) @ (in, out) matmul broadcasts into N per-segment GEMMs
         # of exactly the shapes forward() uses, keeping the results identical.
-        hidden = fused @ self.fc1.weight.data + self.fc1.bias.data
+        hidden = fused @ policy.real(self.fc1.weight.data) + policy.real(self.fc1.bias.data)
         hidden = hidden * (hidden > 0)
-        output = hidden @ self.fc2.weight.data + self.fc2.bias.data
+        output = hidden @ policy.real(self.fc2.weight.data) + policy.real(self.fc2.bias.data)
         if self.config.output_mode == "mask":
             output = 1.0 / (1.0 + np.exp(-np.clip(output, -60.0, 60.0)))
         return output  # (N, T, F)
@@ -203,10 +208,11 @@ class Selector(Module):
     ) -> np.ndarray:
         """Signed shadow spectrograms for a ``(N, F, T)`` batch, shape ``(N, F, T)``.
 
-        Row ``n`` equals ``shadow_spectrogram(mixed_spectrograms[n], d_vector)``
-        bit for bit; see :meth:`forward_batch` for why.
+        Under the default float64 policy row ``n`` equals
+        ``shadow_spectrogram(mixed_spectrograms[n], d_vector)`` bit for bit;
+        see :meth:`forward_batch` for why (and for the float32 mode).
         """
-        mixed = np.asarray(mixed_spectrograms, dtype=np.float64)
+        mixed = active_policy().real(np.asarray(mixed_spectrograms))
         output = self.forward_batch(mixed, d_vector).transpose(0, 2, 1)  # (N, F, T)
         if self.config.output_mode == "mask":
             return -(output * mixed)

@@ -7,6 +7,14 @@ instance, and ``scipy.signal.butter`` costs as much as filtering a short
 signal.  :func:`butter_sos` caches each design keyed on the normalised
 cutoff(s), order and band type — equal ``(order, cutoffs, rate, btype)``
 requests share one immutable SOS array.
+
+Precision policy: unlike the STFT/Selector kernels, the IIR filters here stay
+pinned to float64 even under a reduced-precision policy
+(:mod:`repro.nn.precision`).  High-order Butterworth second-order sections are
+numerically delicate — float32 state accumulation audibly degrades the
+zero-phase band edges — and the channel simulation they model is not a hot
+path, so there is nothing to win and stability to lose.  This pinning is part
+of the documented policy surface, not an oversight.
 """
 
 from __future__ import annotations

@@ -15,6 +15,7 @@ import numpy as np
 from scipy import fft as _scipy_fft
 
 from repro.dsp.windows import get_window
+from repro.nn.precision import active_policy
 
 
 def _frame_starts(num_samples: int, win_length: int, hop_length: int) -> np.ndarray:
@@ -34,21 +35,26 @@ def stft(
     """Complex STFT of a 1-D signal, shape ``(n_fft // 2 + 1, n_frames)``.
 
     The per-frame gather runs as one fancy-indexing operation over all frames
-    (bit-identical to extracting each frame in a Python loop).
+    (bit-identical to extracting each frame in a Python loop).  Under a
+    reduced-precision policy (:mod:`repro.nn.precision`) the framing and FFT
+    run in the policy's real dtype and return its complex dtype.
     """
-    signal = np.asarray(signal, dtype=np.float64)
+    policy = active_policy()
+    signal = policy.real(np.asarray(signal))
     if signal.ndim != 1:
         raise ValueError("stft expects a 1-D signal")
     if win_length > n_fft:
         raise ValueError("win_length must be <= n_fft")
-    win = get_window(window, win_length)
+    win = policy.real(get_window(window, win_length))
     starts = _frame_starts(signal.size, win_length, hop_length)
     if signal.size < win_length:
         # One zero-padded frame, exactly like the framing loop produced.
         signal = np.pad(signal, (0, win_length - signal.size))
     frames = signal[starts[:, None] + np.arange(win_length)[None, :]]
     frames = frames * win
-    spectrum = np.fft.rfft(frames, n=n_fft, axis=1)
+    # scipy's pocketfft: bit-identical to numpy's in float64 (both are
+    # pocketfft; pinned by the test-suite) and dtype-preserving in float32.
+    spectrum = _scipy_fft.rfft(frames, n=n_fft, axis=1)
     return spectrum.T  # (freq_bins, frames)
 
 
@@ -69,9 +75,11 @@ def batch_stft(
     ``signals`` is a ``(N, num_samples)`` array of same-length clips (e.g. the
     stacked segments of :meth:`NECSystem.protect`).  Row ``n`` of the result is
     bit-identical to ``stft(signals[n], ...)``: the framing is the same, only
-    the frame extraction and FFT run once for the whole batch.
+    the frame extraction and FFT run once for the whole batch.  Like
+    :func:`stft`, the active precision policy selects the compute dtype.
     """
-    signals = np.asarray(signals, dtype=np.float64)
+    policy = active_policy()
+    signals = policy.real(np.asarray(signals))
     if signals.ndim != 2:
         raise ValueError("batch_stft expects a (N, num_samples) batch of signals")
     if win_length > n_fft:
@@ -79,12 +87,12 @@ def batch_stft(
     if signals.shape[1] < win_length:
         # Mirror stft(): a too-short signal yields exactly one zero-padded frame.
         signals = np.pad(signals, ((0, 0), (0, win_length - signals.shape[1])))
-    win = get_window(window, win_length)
+    win = policy.real(get_window(window, win_length))
     starts = _frame_starts(signals.shape[1], win_length, hop_length)
     # (N, T, win): gather every frame of every signal in one indexing op.
     frames = signals[:, starts[:, None] + np.arange(win_length)[None, :]]
     frames = frames * win
-    spectrum = np.fft.rfft(frames, n=n_fft, axis=2)
+    spectrum = _scipy_fft.rfft(frames, n=n_fft, axis=2)
     return spectrum.transpose(0, 2, 1)  # (N, freq_bins, frames)
 
 
@@ -100,12 +108,14 @@ def batch_magnitude_spectrogram(
 
 
 #: Cached overlap-add plans keyed on ``(window, win_length, hop_length,
-#: n_frames)``: the window, the summed window-square normalisation envelope,
-#: its "safe to divide" mask and the masked reciprocal.  Every iSTFT of the
-#: same geometry (all segments of a clip, every clip of a benchmark) shares
-#: one plan instead of re-accumulating the envelope per call.
+#: n_frames, dtype)``: the window, the summed window-square normalisation
+#: envelope, its "safe to divide" mask and the masked reciprocal, all in the
+#: requested real dtype.  Every iSTFT of the same geometry (all segments of a
+#: clip, every clip of a benchmark) shares one plan instead of
+#: re-accumulating the envelope per call.
 _OLA_PLAN_CACHE: Dict[
-    Tuple[str, int, int, int], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    Tuple[str, int, int, int, str],
+    Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
 ] = {}
 
 
@@ -119,11 +129,19 @@ def clear_ola_plan_cache() -> None:
 
 
 def _ola_plan(
-    window: str, win_length: int, hop_length: int, num_frames: int
+    window: str,
+    win_length: int,
+    hop_length: int,
+    num_frames: int,
+    dtype: np.dtype = np.dtype(np.float64),
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    key = (window, win_length, hop_length, num_frames)
+    dtype = np.dtype(dtype)
+    key = (window, win_length, hop_length, num_frames, dtype.name)
     plan = _OLA_PLAN_CACHE.get(key)
     if plan is None:
+        # The envelope and its safe mask are always accumulated in float64 —
+        # so the float32 plan's mask picks exactly the same samples — and
+        # only the finished arrays are cast to the requested dtype.
         win = get_window(window, win_length)
         expected = win_length + hop_length * (num_frames - 1)
         norm = np.zeros(max(expected, 0))
@@ -140,6 +158,9 @@ def _ola_plan(
             safe = np.zeros(0, dtype=bool)
         inverse = np.ones(norm.shape)
         inverse[safe] = 1.0 / norm[safe]
+        win = win.astype(dtype, copy=False)
+        norm = norm.astype(dtype, copy=False)
+        inverse = inverse.astype(dtype, copy=False)
         for array in (win, norm, safe, inverse):
             array.setflags(write=False)
         plan = (win, norm, safe, inverse)
@@ -163,10 +184,10 @@ def _overlap_add(frames: np.ndarray, win: np.ndarray, hop_length: int, expected:
     num_frames, win_length = frames.shape[-2:]
     lead = frames.shape[:-2]
     if num_frames == 0:
-        return np.zeros(lead + (expected,))
+        return np.zeros(lead + (expected,), dtype=frames.dtype)
     if win_length % hop_length == 0:
         tiles = win_length // hop_length
-        accumulator = np.empty(lead + (num_frames + tiles - 1, hop_length))
+        accumulator = np.empty(lead + (num_frames + tiles - 1, hop_length), dtype=frames.dtype)
         # First tile assigns (0 + x == x exactly, so skipping the zero-fill
         # pass changes nothing numerically); later tiles accumulate.
         accumulator[..., :num_frames, :] = frames[..., :, :hop_length] * win[:hop_length]
@@ -178,7 +199,7 @@ def _overlap_add(frames: np.ndarray, win: np.ndarray, hop_length: int, expected:
     num_groups = -(-win_length // hop_length)  # ceil: no overlap within a group
     stride = num_groups * hop_length
     # Pad the buffer so every group's strided span fits, then trim.
-    output = np.zeros(lead + (expected + stride,))
+    output = np.zeros(lead + (expected + stride,), dtype=frames.dtype)
     for group in range(min(num_groups, num_frames)):
         frames_group = frames[..., group::num_groups, :]
         count = frames_group.shape[-2]
@@ -219,19 +240,23 @@ def batch_istft(
     One ``irfft`` over the whole batch and one grouped overlap-add replace the
     per-clip Python loop of :func:`batch_istft_reference`.  Each row equals
     :func:`istft` of that spectrum bit for bit, and matches the sequential
-    reference up to overlap-add summation order (<= ~1e-10 absolute).
+    reference up to overlap-add summation order (<= ~1e-10 absolute).  The
+    active precision policy selects the compute dtype.
     """
-    spectra = np.asarray(spectra)
+    policy = active_policy()
+    spectra = policy.complex(np.asarray(spectra))
     if spectra.ndim != 3:
         raise ValueError("batch_istft expects a (N, F, T) batch of spectra")
     if spectra.shape[0] == 0:
-        return np.zeros((0, length or 0))
+        return np.zeros((0, length or 0), dtype=policy.real_dtype)
     n_fft = (spectra.shape[1] - 1) * 2
     num_frames = spectra.shape[2]
     # scipy's pocketfft is measurably faster than numpy's here and produces
     # bit-identical transforms (both are pocketfft; pinned by the test suite).
     frames = _scipy_fft.irfft(spectra.transpose(0, 2, 1), n=n_fft, axis=2)[:, :, :win_length]
-    win, _norm, _safe, inverse = _ola_plan(window, win_length, hop_length, num_frames)
+    win, _norm, _safe, inverse = _ola_plan(
+        window, win_length, hop_length, num_frames, policy.real_dtype
+    )
     expected = win_length + hop_length * (num_frames - 1)
     output = _overlap_add(frames, win, hop_length, expected)
     return _finalize_istft(output, inverse, expected, length)
@@ -295,14 +320,18 @@ def istft(
     :func:`_overlap_add` with a cached window-norm envelope per
     ``(window, win, hop, n_frames)`` plan; it matches the sequential
     :func:`istft_reference` up to summation order (<= ~1e-10 absolute).
+    The active precision policy selects the compute dtype.
     """
-    spectrum = np.asarray(spectrum)
+    policy = active_policy()
+    spectrum = policy.complex(np.asarray(spectrum))
     if spectrum.ndim != 2:
         raise ValueError("istft expects a (F, T) spectrum")
     n_fft = (spectrum.shape[0] - 1) * 2
     frames = _scipy_fft.irfft(spectrum.T, n=n_fft, axis=1)[:, :win_length]
     num_frames = frames.shape[0]
-    win, _norm, _safe, inverse = _ola_plan(window, win_length, hop_length, num_frames)
+    win, _norm, _safe, inverse = _ola_plan(
+        window, win_length, hop_length, num_frames, policy.real_dtype
+    )
     expected = win_length + hop_length * (num_frames - 1)
     output = _overlap_add(frames, win, hop_length, expected)
     return _finalize_istft(output, inverse, expected, length)
@@ -359,7 +388,7 @@ def reconstruct_waveform(
     it we attach the phase of the mixed recording (the same strategy used by
     masking-based separators such as VoiceFilter) and invert.
     """
-    magnitude_spec = np.asarray(magnitude_spec, dtype=np.float64)
+    magnitude_spec = active_policy().real(np.asarray(magnitude_spec))
     phase_reference = np.asarray(phase_reference)
     if magnitude_spec.shape != phase_reference.shape:
         raise ValueError(

@@ -14,8 +14,11 @@ the deviation is recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+from concurrent import futures as _futures
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,7 +62,7 @@ class ExperimentContext:
 def batched_protections(
     context: "ExperimentContext",
     jobs: Sequence[Tuple[str, AudioSignal]],
-    max_batch_segments: int = 16,
+    max_batch_segments: int = 4,
 ) -> List[ProtectionResult]:
     """The shared batched driver of the evaluation harness.
 
@@ -73,6 +76,11 @@ def batched_protections(
     ``[context.system_for(s).protect(a) for s, a in jobs]`` (the batched
     engine's per-row equivalence is pinned by ``tests/test_pipeline_batch.py``
     and the driver's by ``tests/test_fastpath.py``).
+
+    The ``max_batch_segments=4`` default is a measured cache sweet spot: the
+    Selector's im2col working set for a 4-segment chunk stays resident where
+    16-segment chunks spill, and chunking never changes the numbers (each
+    row's result is independent of its batch neighbours).
     """
     grouped: Dict[str, List[int]] = {}
     for index, (speaker, _audio) in enumerate(jobs):
@@ -87,6 +95,118 @@ def batched_protections(
         for index, result in zip(indices, batch):
             results[index] = result
     return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The shared worker-pool runner of the evaluation studies.
+# ---------------------------------------------------------------------------
+
+#: Module-level slot holding the (work function, items) of the shard run in
+#: flight.  It is installed *before* the pool forks, so every worker inherits
+#: it by memory inheritance — the work closure and the items (contexts,
+#: AudioSignals, recorders …) never have to be picklable; only each item's
+#: index travels to a worker and only that item's result travels back.
+_SHARD_WORK: Optional[Tuple[Callable[[int, Any], Any], List[Any]]] = None
+
+
+def _invoke_shard(index: int) -> Tuple[int, Any]:
+    work, items = _SHARD_WORK  # type: ignore[misc]
+    return index, work(index, items[index])
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A per-item seed that depends only on ``(base_seed, index)``.
+
+    Derived through :class:`numpy.random.SeedSequence`, so consecutive items
+    get statistically independent streams — and because the derivation never
+    involves the worker that happens to run the item, shard results are
+    bit-stable for any worker count (the contract pinned by
+    ``tests/test_eval_sharding.py``).
+    """
+    return int(np.random.SeedSequence([int(base_seed), int(index)]).generate_state(1)[0])
+
+
+def resolve_num_workers(num_workers: Optional[int] = None) -> int:
+    """``num_workers``, or the ``REPRO_EVAL_WORKERS`` environment default (1)."""
+    if num_workers is None:
+        env = os.environ.get("REPRO_EVAL_WORKERS", "").strip()
+        num_workers = int(env) if env else 1
+    return max(int(num_workers), 1)
+
+
+def run_sharded(
+    work: Callable[[int, Any], Any],
+    items: Sequence[Any],
+    num_workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> List[Any]:
+    """``[work(i, items[i]) for i]``, optionally sharded over forked workers.
+
+    This is the one parallelism primitive of the evaluation harness: every
+    study maps an independent per-item function over its grid (instances,
+    distances, devices, offset points) through this runner.  The contract:
+
+    - **Bit-stable.**  ``work`` must be a pure function of ``(index, item)``
+      (per-item randomness derives from :func:`derive_seed`, never from shared
+      mutable state), so the returned list is bit-identical for *any* worker
+      count, including the inline ``num_workers=1`` path.
+    - **Shared-memory dispatch.**  Workers are forked after the work closure
+      is installed in :data:`_SHARD_WORK`; contexts and audio never cross the
+      process boundary — an index goes in, one item's result comes out.
+    - **Crashes surface, never hang.**  A worker dying (OOM kill, segfault)
+      raises a ``RuntimeError`` naming the failure; a ``timeout_s`` bound per
+      item turns a wedged worker into an error as well.
+
+    ``num_workers=None`` reads the ``REPRO_EVAL_WORKERS`` environment variable
+    (the CI knob) and defaults to inline serial execution.  Platforms without
+    ``fork`` (or nested ``run_sharded`` calls inside a worker) fall back to
+    the inline path, which is always available and always equivalent.
+    """
+    items = list(items)
+    num_workers = min(resolve_num_workers(num_workers), max(len(items), 1))
+    global _SHARD_WORK
+    inline = (
+        num_workers <= 1
+        or len(items) <= 1
+        or _SHARD_WORK is not None  # nested call inside a worker
+        or "fork" not in multiprocessing.get_all_start_methods()
+    )
+    if inline:
+        return [work(index, item) for index, item in enumerate(items)]
+    _SHARD_WORK = (work, items)
+    pool = None
+    try:
+        context = multiprocessing.get_context("fork")
+        results: List[Any] = [None] * len(items)
+        pool = _futures.ProcessPoolExecutor(max_workers=num_workers, mp_context=context)
+        pending = [pool.submit(_invoke_shard, index) for index in range(len(items))]
+        try:
+            for future in pending:
+                index, value = future.result(timeout=timeout_s)
+                results[index] = value
+        except _futures.process.BrokenProcessPool as exc:
+            raise RuntimeError(
+                "an evaluation shard worker died before returning its "
+                "result (killed or crashed); rerun with num_workers=1 to "
+                "debug the failing item inline"
+            ) from exc
+        except _futures.TimeoutError as exc:
+            # A wedged worker would make a graceful shutdown wait forever:
+            # terminate the pool's processes outright before raising.
+            for future in pending:
+                future.cancel()
+            for process in (getattr(pool, "_processes", None) or {}).values():
+                process.terminate()
+            raise RuntimeError(
+                f"an evaluation shard exceeded its {timeout_s} s budget"
+            ) from exc
+        pool.shutdown(wait=True)
+        pool = None
+        return results
+    finally:
+        _SHARD_WORK = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def probe_broadcasts(

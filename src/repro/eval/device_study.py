@@ -10,7 +10,7 @@ import numpy as np
 from repro.audio.signal import AudioSignal
 from repro.channel.devices import DEVICE_TABLE, DeviceProfile, get_device
 from repro.channel.recorder import Recorder, SceneSource
-from repro.eval.common import probe_broadcasts
+from repro.eval.common import probe_broadcasts, run_sharded
 from repro.eval.reporting import format_table
 
 
@@ -72,6 +72,7 @@ def run_device_study(
     sample_rate: int = 16000,
     energy_threshold_ratio: float = 0.05,
     seed: int = 0,
+    num_workers: Optional[int] = None,
 ) -> DeviceStudyResult:
     """Table III: sweep the carrier frequency and distance for every recorder.
 
@@ -80,6 +81,10 @@ def run_device_study(
     the recorder exceeds ``energy_threshold_ratio`` of the device's own best
     response.  The measured usable range, best carrier and maximum effective
     distance are reported next to the reference values from the paper.
+
+    Each device's characterisation depends only on the (pre-computed, shared)
+    broadcasts and the fixed seed, so ``num_workers`` shards the devices over
+    forked workers with bit-identical results.
     """
     device_names = list(devices) if devices is not None else sorted(DEVICE_TABLE)
     if carrier_grid_khz is None:
@@ -93,8 +98,7 @@ def run_device_study(
     # point: modulation does not depend on the receiving device or distance.
     broadcasts = probe_broadcasts(probe, carrier_grid_khz)
 
-    result = DeviceStudyResult()
-    for name in device_names:
+    def characterize(_index: int, name: str) -> DeviceCharacterization:
         device = get_device(name)
         energies = np.array(
             [
@@ -128,15 +132,16 @@ def run_device_study(
             )
             if reference_energy > 0 and energy > 0.01 * reference_energy:
                 max_distance = float(distance)
-        result.devices.append(
-            DeviceCharacterization(
-                name=name,
-                brand=device.brand,
-                measured_low_khz=low,
-                measured_high_khz=high,
-                measured_best_khz=best,
-                measured_max_distance_m=max_distance,
-                reference=device,
-            )
+        return DeviceCharacterization(
+            name=name,
+            brand=device.brand,
+            measured_low_khz=low,
+            measured_high_khz=high,
+            measured_best_khz=best,
+            measured_max_distance_m=max_distance,
+            reference=device,
         )
+
+    result = DeviceStudyResult()
+    result.devices = run_sharded(characterize, device_names, num_workers=num_workers)
     return result

@@ -10,7 +10,12 @@ import numpy as np
 from repro.audio.signal import AudioSignal
 from repro.channel.propagation import propagate, spl_at_distance
 from repro.channel.recorder import Recorder, SceneSource
-from repro.eval.common import ExperimentContext, batched_protections, prepare_context
+from repro.eval.common import (
+    ExperimentContext,
+    batched_protections,
+    prepare_context,
+    run_sharded,
+)
 from repro.eval.reporting import format_table
 from repro.metrics.sonr import sonr
 
@@ -140,6 +145,7 @@ def run_sonr_study(
     distances_m: Sequence[float] = (0.5, 1.0, 2.0),
     device: str = "Moto Z4",
     seed: int = 0,
+    num_workers: Optional[int] = None,
 ) -> SonrResult:
     """Fig. 15(b): how much of Bob leaks into Alice's recorder vs distance.
 
@@ -148,6 +154,10 @@ def run_sonr_study(
     simulated through the full channel (propagation, carrier demodulation via
     the microphone non-linearity); SONR compares the recording against Bob's
     received contribution.
+
+    Each sweep point is a pure function of ``(distance, protection, seed)``,
+    so ``num_workers`` shards the distances over forked workers with
+    bit-identical results (the shadow is computed once, pre-fork).
     """
     context = context if context is not None else prepare_context(seed=seed)
     config = context.config
@@ -162,8 +172,8 @@ def run_sonr_study(
     # compute it once through the shared batched driver and re-record it at
     # every distance instead of re-running protect per sweep point.
     protection = batched_protections(context, [(target, bob + alice)])[0]
-    result = SonrResult()
-    for distance in distances_m:
+
+    def measure(_index: int, distance: float) -> SonrPoint:
         recorder_off = Recorder(device, seed=seed)
         recorder_on = Recorder(device, seed=seed)
         bob_only_recorder = Recorder(device, seed=seed)
@@ -174,11 +184,12 @@ def run_sonr_study(
             bob, alice, recorder_on, distance_m=distance, enabled=True, protection=protection
         )
         bob_received = bob_only_recorder.record_scene([SceneSource(bob, distance)])
-        result.points.append(
-            SonrPoint(
-                distance_m=float(distance),
-                sonr_without_nec=sonr(recorded_off.data, bob_received.data),
-                sonr_with_nec=sonr(recorded_on.data, bob_received.data),
-            )
+        return SonrPoint(
+            distance_m=float(distance),
+            sonr_without_nec=sonr(recorded_off.data, bob_received.data),
+            sonr_with_nec=sonr(recorded_on.data, bob_received.data),
         )
+
+    result = SonrResult()
+    result.points = run_sharded(measure, distances_m, num_workers=num_workers)
     return result

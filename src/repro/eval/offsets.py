@@ -9,7 +9,12 @@ import numpy as np
 
 from repro.audio.mixing import joint_conversation
 from repro.core.overshadow import OffsetPoint, mixed_reference_point, offset_study
-from repro.eval.common import ExperimentContext, batched_protections, prepare_context
+from repro.eval.common import (
+    ExperimentContext,
+    batched_protections,
+    prepare_context,
+    run_sharded,
+)
 from repro.eval.reporting import format_table
 
 
@@ -42,6 +47,7 @@ def run_offset_study(
     power_coefficients: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
     use_oracle_shadow: bool = False,
     seed: int = 0,
+    num_workers: Optional[int] = None,
 ) -> OffsetStudyResult:
     """Fig. 9(c)/(d): sweep the time offset and power coefficient.
 
@@ -50,6 +56,10 @@ def run_offset_study(
     spectrogram) is used instead, isolating the offset analysis from model
     quality exactly as the paper's own Sec. IV-C2 analysis does (the authors
     use a recorded shadow, not a model prediction, for this figure).
+
+    Every grid point is an independent superposition + two metrics, so
+    ``num_workers`` shards the ``(power, offset)`` grid over forked workers
+    with bit-identical results in the original sweep order.
     """
     context = context if context is not None else prepare_context(seed=seed)
     config = context.config
@@ -72,13 +82,26 @@ def run_offset_study(
     else:
         # Route through the shared batched driver (one protect_batch call).
         shadow_wave = batched_protections(context, [(target, mixed)])[0].shadow_wave
-    points = offset_study(
-        mixed,
-        shadow_wave,
-        background,
-        time_offsets_ms=time_offsets_ms,
-        power_coefficients=power_coefficients,
-    )
+
+    # The grid in the same (power outer, offset inner) order as offset_study's
+    # own double loop, so the sharded result list matches the serial sweep.
+    grid = [
+        (coefficient, offset_ms)
+        for coefficient in power_coefficients
+        for offset_ms in time_offsets_ms
+    ]
+
+    def measure(_index: int, point) -> OffsetPoint:
+        coefficient, offset_ms = point
+        return offset_study(
+            mixed,
+            shadow_wave,
+            background,
+            time_offsets_ms=[offset_ms],
+            power_coefficients=[coefficient],
+        )[0]
+
+    points = run_sharded(measure, grid, num_workers=num_workers)
     return OffsetStudyResult(
         points=points, mixed_reference=mixed_reference_point(mixed, background)
     )

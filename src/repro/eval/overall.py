@@ -8,7 +8,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.asr.recognizer import TemplateRecognizer
-from repro.eval.common import ExperimentContext, batched_protections, prepare_context
+from repro.eval.common import (
+    ExperimentContext,
+    batched_protections,
+    prepare_context,
+    resolve_num_workers,
+    run_sharded,
+)
 from repro.eval.datasets import BenchmarkDataset, compile_benchmark_dataset
 from repro.eval.reporting import format_table, summarize
 from repro.metrics.sdr import sdr
@@ -85,6 +91,7 @@ def run_overall_benchmark(
     compute_wer: bool = False,
     recognizer: Optional[TemplateRecognizer] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
 ) -> OverallResult:
     """Fig. 11: SDR (and optionally WER) with and without NEC.
 
@@ -93,6 +100,14 @@ def run_overall_benchmark(
     the "mixed" columns are the no-NEC baseline.  WER is computed by the
     template recogniser when ``compute_wer=True`` (it dominates the runtime,
     so SDR-only runs are the default for quick checks).
+
+    ``num_workers`` shards the instances over forked workers via
+    :func:`repro.eval.common.run_sharded`.  The serial path protects every
+    instance through the shared batched driver (one ``protect_batch`` per
+    target speaker); a sharded worker protects its own instances directly —
+    the two are bit-identical (the batched driver's per-instance equivalence
+    is pinned by ``tests/test_fastpath.py``), so the benchmark result does
+    not depend on the worker count.
     """
     context = context if context is not None else prepare_context(seed=seed)
     config = context.config
@@ -109,14 +124,20 @@ def run_overall_benchmark(
     if compute_wer and recognizer is None:
         recognizer = TemplateRecognizer(sample_rate=config.sample_rate, seed=seed)
 
-    result = OverallResult()
-    # All instances go through the shared batched driver: one protect_batch
-    # per target speaker instead of one full protect per instance.
-    protections = batched_protections(
-        context, [(instance.target_speaker, instance.mixed) for instance in dataset.instances]
-    )
-    for instance, protection in zip(dataset.instances, protections):
+    # Serial runs batch all protections up front (one protect_batch per
+    # speaker); sharded workers each protect their own instances.
+    protections = None
+    if resolve_num_workers(num_workers) <= 1:
+        protections = batched_protections(
+            context,
+            [(instance.target_speaker, instance.mixed) for instance in dataset.instances],
+        )
+
+    def measure(index: int, instance) -> InstanceMeasurement:
         system = context.system_for(instance.target_speaker)
+        protection = (
+            protections[index] if protections is not None else system.protect(instance.mixed)
+        )
         recorded = system.superpose(instance.mixed, protection)
         measurement = InstanceMeasurement(
             scenario=instance.scenario,
@@ -136,5 +157,8 @@ def run_overall_benchmark(
                 measurement.wer_background_recorded = recognizer.wer(
                     recorded, instance.background_text
                 )
-        result.measurements.append(measurement)
+        return measurement
+
+    result = OverallResult()
+    result.measurements = run_sharded(measure, dataset.instances, num_workers=num_workers)
     return result

@@ -3,6 +3,8 @@ evaluation fast-path benchmark (old vs new DTW/iSTFT/filter/driver kernels)."""
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -470,3 +472,157 @@ def run_eval_fastpath_analysis(
     if include_driver:
         kernels.append(_driver_timing(repetitions, seed))
     return EvalFastpathResult(kernels=kernels)
+
+
+# ---------------------------------------------------------------------------
+# Precision & parallelism kernels, and the persistent perf trajectory
+# ---------------------------------------------------------------------------
+#: Relative waveform tolerance of the float32 inference mode against float64
+#: (measured deviation is ~1e-6; the gate carries two orders of margin).  The
+#: per-metric tolerances live in ``tests/test_precision.py``.
+FLOAT32_WAVE_RTOL = 1e-4
+
+
+def _float32_inference_timing(
+    config: NECConfig, repetitions: int, seed: int
+) -> KernelTiming:
+    """The float32 evaluation fast path vs the float64 reference engine.
+
+    ``reference`` is the batched protect engine under the default float64
+    policy; ``fast`` is the same engine under ``inference_precision("float32")``.
+    The equivalence flag checks the relative waveform deviation against
+    :data:`FLOAT32_WAVE_RTOL` — a tolerance gate, not bit-identity; that is
+    the whole point of the reduced-precision mode.
+    """
+    from repro.audio.signal import AudioSignal
+    from repro.core.pipeline import NECSystem
+    from repro.nn.precision import inference_precision
+
+    rng = np.random.default_rng(seed)
+    system = NECSystem(config, seed=seed)
+    system.enroll(
+        [AudioSignal(rng.normal(scale=0.1, size=config.segment_samples), config.sample_rate)]
+    )
+    matrix = rng.normal(scale=0.1, size=(8, config.segment_samples))
+
+    def fast_call():
+        with inference_precision("float32"):
+            return system.protect_segment_matrix(matrix)
+
+    reference = system.protect_segment_matrix(matrix)
+    fast = fast_call()
+    reference_waves = np.stack([r.shadow_wave.data for r in reference])
+    fast_waves = np.stack([r.shadow_wave.data for r in fast])
+    scale = float(np.abs(reference_waves).max()) or 1.0
+    max_diff = float(np.abs(reference_waves - fast_waves).max())
+    equivalent = max_diff / scale <= FLOAT32_WAVE_RTOL
+    reference_ms = _time_call_best(lambda: system.protect_segment_matrix(matrix), repetitions)
+    fast_ms = _time_call_best(fast_call, repetitions)
+    return KernelTiming("float32_inference", reference_ms, fast_ms, equivalent, max_diff)
+
+
+def _sharding_timing(
+    config: NECConfig,
+    repetitions: int,
+    seed: int,
+    num_workers: Optional[int] = None,
+) -> KernelTiming:
+    """The sharded eval runner vs its inline serial path on protect-shaped work.
+
+    ``reference`` maps one ``protect_segment_matrix`` call per item inline;
+    ``fast`` shards the same items over forked workers.  The equivalence flag
+    asserts **bit-identical** shard results — the contract of
+    :func:`repro.eval.common.run_sharded` — for any worker count; the speedup
+    is only meaningful on multi-core machines (on a single core the fork
+    overhead makes it <= 1x by construction).
+    """
+    from repro.audio.signal import AudioSignal
+    from repro.core.pipeline import NECSystem
+    from repro.eval.common import resolve_num_workers, run_sharded
+
+    workers = resolve_num_workers(num_workers)
+    if workers <= 1:
+        workers = min(os.cpu_count() or 1, 4)
+    rng = np.random.default_rng(seed)
+    system = NECSystem(config, seed=seed)
+    system.enroll(
+        [AudioSignal(rng.normal(scale=0.1, size=config.segment_samples), config.sample_rate)]
+    )
+    items = [rng.normal(scale=0.1, size=(2, config.segment_samples)) for _ in range(8)]
+
+    def work(_index: int, matrix: np.ndarray) -> np.ndarray:
+        results = system.protect_segment_matrix(matrix)
+        return np.stack([result.shadow_wave.data for result in results])
+
+    serial = run_sharded(work, items, num_workers=1)
+    sharded = run_sharded(work, items, num_workers=workers)
+    equivalent = all(np.array_equal(a, b) for a, b in zip(serial, sharded))
+    reference_ms = _time_call_best(lambda: run_sharded(work, items, num_workers=1), repetitions)
+    fast_ms = _time_call_best(
+        lambda: run_sharded(work, items, num_workers=workers), repetitions
+    )
+    return KernelTiming(
+        "sharded_eval", reference_ms, fast_ms, equivalent, 0.0 if equivalent else float("inf")
+    )
+
+
+def run_perf_trajectory(
+    config: Optional[NECConfig] = None,
+    path: Optional[str] = None,
+    label: Optional[str] = None,
+    repetitions: int = 3,
+    seed: int = 0,
+    num_workers: Optional[int] = None,
+) -> Dict:
+    """Re-time every BENCH kernel and append one entry to the trajectory file.
+
+    The trajectory (``BENCH_trajectory.json`` by default, override with
+    ``path`` or the ``BENCH_TRAJECTORY_JSON`` environment variable) is the
+    repo's persistent perf record: one entry per PR/run, each holding the
+    full kernel table — the four evaluation fast-path kernels plus the
+    precision (``float32_inference``) and parallelism (``sharded_eval``)
+    kernels.  CI appends an entry on every run, uploads the file, and fails
+    if any kernel's ``equivalent`` flag is false.
+
+    Returns the appended entry (the full payload sits at ``path``).
+    """
+    config = (config or NECConfig.tiny()).validate()
+    result = run_eval_fastpath_analysis(config=config, repetitions=repetitions, seed=seed)
+    kernels = list(result.kernels) + [
+        _float32_inference_timing(config, repetitions, seed),
+        _sharding_timing(config, repetitions, seed, num_workers=num_workers),
+    ]
+
+    if path is None:
+        path = os.environ.get("BENCH_TRAJECTORY_JSON", "") or os.path.join(
+            os.getcwd(), "BENCH_trajectory.json"
+        )
+    payload: Dict = {"benchmark": "perf_trajectory", "entries": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict) and isinstance(existing.get("entries"), list):
+                payload = existing
+        except (OSError, ValueError):  # pragma: no cover - corrupt artifact
+            pass
+    entry = {
+        "label": label or os.environ.get("REPRO_BENCH_LABEL", "unlabeled"),
+        "timestamp": time.time(),
+        "all_equivalent": all(timing.equivalent for timing in kernels),
+        "kernels": [
+            {
+                "name": timing.name,
+                "reference_ms": timing.reference_ms,
+                "fast_ms": timing.fast_ms,
+                "speedup": timing.speedup,
+                "equivalent": timing.equivalent,
+                "max_abs_difference": timing.max_abs_difference,
+            }
+            for timing in kernels
+        ],
+    }
+    payload["entries"].append(entry)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return entry

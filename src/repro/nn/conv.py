@@ -8,6 +8,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.layers import Module
+from repro.nn.precision import DTypePolicy, active_policy
 from repro.nn.tensor import Tensor, conv_output_size
 
 IntPair = Union[int, Tuple[int, int]]
@@ -108,6 +109,11 @@ class Conv2d(Module):
             if bias
             else None
         )
+        # Per-policy cache of the flattened inference weights.  Keyed on the
+        # parameter arrays' identities: the optimisers rebind ``.data`` on
+        # every step, so a stale cast can never be served after training.
+        self._infer_weights_key: Optional[Tuple[str, int, int]] = None
+        self._infer_weights: Optional[Tuple[np.ndarray, Optional[np.ndarray]]] = None
 
     def output_size(self, height: int, width: int) -> Tuple[int, int]:
         return conv_output_size(
@@ -137,17 +143,45 @@ class Conv2d(Module):
             out = out + self.bias.reshape(1, self.out_channels, 1)
         return out.reshape(n, self.out_channels, out_h, out_w)
 
+    def _inference_weights(
+        self, policy: DTypePolicy
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """The flattened (and policy-cast) weight matrix and bias row."""
+        key = (
+            policy.name,
+            id(self.weight.data),
+            id(self.bias.data) if self.bias is not None else 0,
+        )
+        if self._infer_weights_key != key:
+            kh, kw = self.kernel_size
+            weight_matrix = policy.real(
+                self.weight.data.reshape(self.out_channels, self.in_channels * kh * kw)
+            )
+            bias_row = (
+                policy.real(self.bias.data.reshape(1, self.out_channels, 1))
+                if self.bias is not None
+                else None
+            )
+            self._infer_weights_key = key
+            self._infer_weights = (weight_matrix, bias_row)
+        return self._infer_weights  # type: ignore[return-value]
+
     def infer(self, x: np.ndarray) -> np.ndarray:
         """Gradient-free forward pass on a ``(N, C, H, W)`` numpy array.
 
-        Bit-identical to :meth:`forward` — the column matrix has the same
-        layout and the matmul/bias ops run in the same order — but it skips the
-        autograd bookkeeping and uses the strided im2col, which avoids
-        rebuilding the fancy-index arrays for every sample.  This is the
-        building block of the batched inference engine.
+        Under the default float64 policy this is bit-identical to
+        :meth:`forward` — the column matrix has the same layout and the
+        matmul/bias ops run in the same order — but it skips the autograd
+        bookkeeping and uses the strided im2col, which avoids rebuilding the
+        fancy-index arrays for every sample.  Under a reduced-precision policy
+        (:mod:`repro.nn.precision`) the whole pass runs in the policy's real
+        dtype, with the flattened weights cast once and cached per policy.
+        This is the building block of the batched inference engine.
         """
         if x.ndim != 4:
             raise ValueError("Conv2d expects (N, C, H, W) input")
+        policy = active_policy()
+        x = policy.real(x)
         n, _, h, w = x.shape
         out_h, out_w = self.output_size(h, w)
         cols = strided_im2col(
@@ -157,11 +191,8 @@ class Conv2d(Module):
             dilation=self.dilation,
             padding=self.padding,
         )
-        kh, kw = self.kernel_size
-        weight_matrix = self.weight.data.reshape(
-            self.out_channels, self.in_channels * kh * kw
-        )
+        weight_matrix, bias_row = self._inference_weights(policy)
         out = weight_matrix @ cols
-        if self.bias is not None:
-            out = out + self.bias.data.reshape(1, self.out_channels, 1)
+        if bias_row is not None:
+            out = out + bias_row
         return out.reshape(n, self.out_channels, out_h, out_w)

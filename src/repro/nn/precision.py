@@ -1,0 +1,131 @@
+"""The single dtype policy of the inference/evaluation fast path.
+
+Suppression-style metrics tolerate reduced precision, so the gradient-free
+inference kernels (``Conv2d.infer``, ``Selector.forward_batch``, the STFT /
+iSTFT pair, the channel filters) can run in float32 for roughly half the
+memory traffic — but only behind a *proven* equivalence gate, and only ever
+selected in one place.  This module is that place: a :class:`DTypePolicy`
+value object plus one process-wide active policy, switched with the
+:func:`inference_precision` context manager.  Kernels ask
+:func:`active_policy` for their dtypes instead of scattering ``astype`` calls.
+
+Two invariants are enforced:
+
+- **Training stays float64-only.**  The autograd substrate
+  (:mod:`repro.nn.tensor`) refuses to build gradient-tracking tensors while a
+  reduced-precision policy is active; reduced precision is an inference/eval
+  mode, never a training mode.
+- **The default is bit-identical to the seed.**  With the default ``float64``
+  policy active, every kernel computes exactly what it computed before this
+  module existed; the float32 path is opt-in per ``with`` block.
+
+Per-metric tolerances of the float32 mode are documented in
+``tests/test_precision.py`` (the equivalence gate) and in the README's
+"Precision & parallelism" section.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+import numpy as np
+
+PolicyLike = Union["DTypePolicy", str, np.dtype, type]
+
+
+@dataclass(frozen=True)
+class DTypePolicy:
+    """The dtypes of one precision mode, as one immutable value object."""
+
+    name: str
+    real_dtype: np.dtype
+    complex_dtype: np.dtype
+
+    @property
+    def is_double(self) -> bool:
+        return self.real_dtype == np.dtype(np.float64)
+
+    def real(self, array: np.ndarray) -> np.ndarray:
+        """``array`` under this policy's real dtype (no copy when it already is)."""
+        array = np.asarray(array)
+        if array.dtype == self.real_dtype:
+            return array
+        return array.astype(self.real_dtype)
+
+    def complex(self, array: np.ndarray) -> np.ndarray:
+        """``array`` under this policy's complex dtype (no copy when it already is)."""
+        array = np.asarray(array)
+        if array.dtype == self.complex_dtype:
+            return array
+        return array.astype(self.complex_dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DTypePolicy({self.name})"
+
+
+#: The default policy: the seed's float64 everywhere.  Bit-identical to the
+#: pre-policy code base by construction.
+FLOAT64 = DTypePolicy("float64", np.dtype(np.float64), np.dtype(np.complex128))
+
+#: The evaluation fast-path policy: float32 compute in the gradient-free
+#: kernels.  Gated by the tolerance suite in ``tests/test_precision.py``.
+FLOAT32 = DTypePolicy("float32", np.dtype(np.float32), np.dtype(np.complex64))
+
+_POLICIES = {"float64": FLOAT64, "float32": FLOAT32}
+
+# The active policy is thread-local so a worker pool can run shards at
+# different precisions without races; each forked worker inherits the
+# parent's setting at fork time.
+_STATE = threading.local()
+
+
+def resolve_policy(policy: PolicyLike) -> DTypePolicy:
+    """Coerce a policy name / numpy dtype / policy object to a policy object."""
+    if isinstance(policy, DTypePolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            return _POLICIES[policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown precision policy '{policy}' (expected one of {sorted(_POLICIES)})"
+            ) from None
+    dtype = np.dtype(policy)
+    for candidate in _POLICIES.values():
+        if dtype in (candidate.real_dtype, candidate.complex_dtype):
+            return candidate
+    raise ValueError(f"no precision policy for dtype {dtype}")
+
+
+def active_policy() -> DTypePolicy:
+    """The policy currently governing the gradient-free kernels."""
+    return getattr(_STATE, "policy", FLOAT64)
+
+
+def set_active_policy(policy: PolicyLike) -> DTypePolicy:
+    """Install ``policy`` as the active one; returns the previous policy."""
+    previous = active_policy()
+    _STATE.policy = resolve_policy(policy)
+    return previous
+
+
+@contextlib.contextmanager
+def inference_precision(policy: PolicyLike) -> Iterator[DTypePolicy]:
+    """Run the enclosed inference/eval code under ``policy``.
+
+    ::
+
+        with inference_precision("float32"):
+            result = system.protect(mixed_audio)     # float32 fast path
+
+    Nesting restores the outer policy on exit, including on exceptions.
+    """
+    resolved = resolve_policy(policy)
+    previous = set_active_policy(resolved)
+    try:
+        yield resolved
+    finally:
+        set_active_policy(previous)

@@ -1,0 +1,170 @@
+"""The worker-pool eval runner: bit-stability, crash surfacing, seed derivation.
+
+:func:`repro.eval.common.run_sharded` is the single parallelism primitive of
+the evaluation harness.  Its contract — identical results for ANY worker
+count, crashes surfacing as errors rather than hangs — is what the studies'
+``num_workers`` parameters rely on, so it is pinned here directly and through
+two real studies.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval.common import (
+    derive_seed,
+    prepare_context,
+    resolve_num_workers,
+    run_sharded,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return prepare_context(num_speakers=4, num_targets=1, train=False, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# The primitive
+# ---------------------------------------------------------------------------
+def test_sharded_results_bit_identical_across_worker_counts():
+    def work(index, item):
+        rng = np.random.default_rng(derive_seed(11, index))
+        return float(item * 3.0 + rng.standard_normal())
+
+    items = list(range(7))
+    serial = run_sharded(work, items, num_workers=1)
+    two = run_sharded(work, items, num_workers=2)
+    four = run_sharded(work, items, num_workers=4)
+    assert serial == two == four
+
+
+def test_sharded_preserves_item_order():
+    def work(index, item):
+        return (index, item)
+
+    items = ["a", "b", "c", "d", "e"]
+    assert run_sharded(work, items, num_workers=2) == list(enumerate(items))
+
+
+def test_sharded_work_need_not_be_picklable():
+    # The work closure and items are inherited by fork, never pickled: a
+    # closure over a lock (unpicklable) must shard fine.
+    import threading
+
+    lock = threading.Lock()
+
+    def work(_index, item):
+        with lock:
+            return item * item
+
+    assert run_sharded(work, [1, 2, 3], num_workers=2) == [1, 4, 9]
+
+
+def test_worker_crash_raises_clean_error_not_hang():
+    def work(index, item):
+        if index == 1:
+            os._exit(23)  # hard death: no exception, no cleanup
+        return item
+
+    with pytest.raises(RuntimeError, match="worker died"):
+        run_sharded(work, [0, 1, 2], num_workers=2)
+
+
+def test_wedged_worker_times_out():
+    import time
+
+    def work(index, item):
+        if index == 1:
+            time.sleep(60.0)
+        return item
+
+    with pytest.raises(RuntimeError, match="exceeded"):
+        run_sharded(work, [0, 1, 2], num_workers=2, timeout_s=2.0)
+
+
+def test_single_item_and_single_worker_run_inline():
+    calls = []
+
+    def work(index, item):
+        calls.append(os.getpid())
+        return item
+
+    run_sharded(work, [1], num_workers=8)
+    run_sharded(work, [1, 2, 3], num_workers=1)
+    # Inline execution happens in this process (the calls list is visible).
+    assert calls and all(pid == os.getpid() for pid in calls)
+
+
+def test_nested_sharding_falls_back_inline():
+    def inner(_index, item):
+        return item + 1
+
+    def outer(_index, item):
+        # A nested run_sharded inside a worker must not fork a pool-of-pools.
+        return run_sharded(inner, [item, item], num_workers=4)
+
+    assert run_sharded(outer, [10, 20], num_workers=2) == [[11, 11], [21, 21]]
+
+
+# ---------------------------------------------------------------------------
+# Seeds and worker-count resolution
+# ---------------------------------------------------------------------------
+def test_derive_seed_depends_only_on_base_and_index():
+    assert derive_seed(3, 0) == derive_seed(3, 0)
+    assert derive_seed(3, 0) != derive_seed(3, 1)
+    assert derive_seed(3, 0) != derive_seed(4, 0)
+    # Values are valid numpy seeds.
+    np.random.default_rng(derive_seed(0, 0))
+
+
+def test_resolve_num_workers_env_default(monkeypatch):
+    monkeypatch.delenv("REPRO_EVAL_WORKERS", raising=False)
+    assert resolve_num_workers(None) == 1
+    assert resolve_num_workers(3) == 3
+    assert resolve_num_workers(0) == 1
+    monkeypatch.setenv("REPRO_EVAL_WORKERS", "4")
+    assert resolve_num_workers(None) == 4
+    assert resolve_num_workers(2) == 2  # explicit beats the environment
+
+
+# ---------------------------------------------------------------------------
+# Real studies: serial == sharded
+# ---------------------------------------------------------------------------
+def test_offset_study_bit_identical_across_workers(context):
+    from repro.eval.offsets import run_offset_study
+
+    kwargs = dict(
+        context=context,
+        time_offsets_ms=(0, 50),
+        power_coefficients=(0.5, 1.0),
+        seed=0,
+    )
+    serial = run_offset_study(num_workers=1, **kwargs)
+    sharded = run_offset_study(num_workers=2, **kwargs)
+    assert [
+        (p.time_offset_ms, p.power_coefficient, p.cosine_distance, p.sdr_db)
+        for p in serial.points
+    ] == [
+        (p.time_offset_ms, p.power_coefficient, p.cosine_distance, p.sdr_db)
+        for p in sharded.points
+    ]
+
+
+def test_overall_benchmark_bit_identical_across_workers(context):
+    """The sharded path (per-instance protect) must equal the serial path
+    (speaker-grouped batched driver) exactly — the pinned driver equivalence
+    is what makes the worker count a pure performance knob."""
+    import dataclasses
+
+    from repro.eval.overall import run_overall_benchmark
+
+    kwargs = dict(
+        context=context, instances_per_scenario=1, scenarios=("joint",), seed=0
+    )
+    serial = run_overall_benchmark(num_workers=1, **kwargs)
+    sharded = run_overall_benchmark(num_workers=2, **kwargs)
+    assert [dataclasses.astuple(m) for m in serial.measurements] == [
+        dataclasses.astuple(m) for m in sharded.measurements
+    ]

@@ -12,6 +12,7 @@ from repro.audio.signal import AudioSignal
 from repro.core import NECSystem, StreamingProtector
 from repro.core.selector import Selector
 from repro.nn import Conv2d, Tensor
+from repro.nn.precision import inference_precision
 
 
 @pytest.fixture(scope="module")
@@ -220,6 +221,64 @@ class TestStreamingProtector:
                 AudioSignal(audio.data[: tiny_config.segment_samples], tiny_config.sample_rate)
             ).shadow_wave.data,
         )
+
+    def test_sub_hop_chunks_emit_nothing_until_full_segment(self, system, tiny_config):
+        """Chunks smaller than one STFT hop must just accumulate — and the
+        eventual output must still match protecting the whole stream."""
+        hop = tiny_config.hop_length
+        size = hop - 1
+        audio = _noise(tiny_config, tiny_config.segment_samples + 3 * size)
+        whole = system.protect(audio)
+        protector = StreamingProtector(system)
+        waves = []
+        fed = 0
+        for start in range(0, audio.num_samples, size):
+            results = protector.feed(audio.data[start : start + size])
+            fed = min(start + size, audio.num_samples)
+            if fed < tiny_config.segment_samples:
+                assert results == []
+                assert protector.pending_samples == fed
+            waves.extend(result.shadow_wave.data for result in results)
+        assert protector.segments_emitted == 1
+        tail = protector.flush()
+        assert tail is not None
+        waves.append(tail.shadow_wave.data)
+        np.testing.assert_array_equal(np.concatenate(waves), whole.shadow_wave.data)
+
+    def test_flush_result_covers_exactly_the_unpadded_tail(self, system, tiny_config):
+        protector = StreamingProtector(system)
+        tail_audio = _noise(tiny_config, 123, seed=9)
+        protector.feed(tail_audio)
+        tail = protector.flush()
+        assert tail is not None
+        # The result's mixed_audio is the fed samples, without the zero pad.
+        np.testing.assert_array_equal(tail.mixed_audio.data, tail_audio.data)
+        assert tail.shadow_wave.num_samples == 123
+        # The spectrograms cover the padded segment (full analysis geometry).
+        assert tail.shadow_spectrogram.shape == tuple(tiny_config.spectrogram_shape)
+        # Flushing an already-empty stream yields nothing.
+        assert protector.flush() is None
+        assert protector.pending_samples == 0
+
+    def test_emitted_shadow_dtypes_under_both_policies(self, system, tiny_config):
+        """Emitted shadow waves are float64 under *both* precision policies
+        (AudioSignal is the interchange boundary); only the internal
+        spectrograms follow the active dtype policy."""
+        audio = _noise(tiny_config, tiny_config.segment_samples + 50, seed=13)
+
+        def stream(protector):
+            results = protector.feed(audio)
+            results.append(protector.flush())
+            return results
+
+        for result in stream(StreamingProtector(system)):
+            assert result.shadow_wave.data.dtype == np.float64
+            assert result.shadow_spectrogram.dtype == np.float64
+        with inference_precision("float32"):
+            for result in stream(StreamingProtector(system)):
+                assert result.shadow_wave.data.dtype == np.float64
+                assert result.shadow_spectrogram.dtype == np.float32
+                assert result.record_spectrogram.dtype == np.float32
 
 
 class TestBatchedSelector:
