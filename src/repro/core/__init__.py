@@ -16,7 +16,7 @@
 
 from repro.core.config import NECConfig
 from repro.core.encoder import SpeakerEncoder, SpectralEncoder, NeuralEncoder
-from repro.core.selector import Selector
+from repro.core.selector import Selector, StreamBatch, StreamRequest
 from repro.core.overshadow import (
     superpose_spectrograms,
     shadow_waveform,
@@ -26,7 +26,12 @@ from repro.core.overshadow import (
     OffsetPoint,
 )
 from repro.core.training import SelectorTrainer, TrainingExample, TrainingHistory
-from repro.core.pipeline import NECSystem, ProtectionResult, StreamingProtector
+from repro.core.pipeline import (
+    NECSystem,
+    ProtectionResult,
+    StreamingProtector,
+    StreamLatencyStats,
+)
 
 __all__ = [
     "NECConfig",
@@ -34,6 +39,8 @@ __all__ = [
     "SpectralEncoder",
     "NeuralEncoder",
     "Selector",
+    "StreamBatch",
+    "StreamRequest",
     "superpose_spectrograms",
     "shadow_waveform",
     "shadow_waveform_from_stft",
@@ -46,4 +53,5 @@ __all__ = [
     "NECSystem",
     "ProtectionResult",
     "StreamingProtector",
+    "StreamLatencyStats",
 ]

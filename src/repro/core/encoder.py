@@ -100,9 +100,18 @@ class SpectralEncoder(SpeakerEncoder):
         super().__init__(config)
         rng = np.random.default_rng(seed)
         projection = rng.normal(size=(self.feature_dim, config.embedding_dim))
-        # Orthonormalise the columns for a well-conditioned projection.
-        q, _ = np.linalg.qr(projection)
-        self._projection = q[:, : config.embedding_dim]
+        # Orthonormalise for a well-conditioned projection.  QR only yields
+        # min(m, n) orthonormal columns, so when the embedding is wider than
+        # the feature vector (the paper preset: 128 features -> 256 dims) the
+        # factorisation must run on the transpose — orthonormal rows — or the
+        # projection silently truncates to feature_dim columns and the
+        # embedding no longer matches ``config.embedding_dim``.
+        if config.embedding_dim <= self.feature_dim:
+            q, _ = np.linalg.qr(projection)
+            self._projection = q[:, : config.embedding_dim]
+        else:
+            q, _ = np.linalg.qr(projection.T)
+            self._projection = q[:, : self.feature_dim].T
 
     def embed(self, references: Sequence[AudioSignal | np.ndarray]) -> np.ndarray:
         features = self._pooled_features(references)

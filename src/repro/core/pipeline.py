@@ -13,7 +13,8 @@ equivalence is pinned by tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -28,8 +29,15 @@ from repro.core.overshadow import (
     shadow_waveform,
     superpose_spectrograms,
 )
-from repro.core.selector import Selector
-from repro.dsp.stft import batch_istft, batch_stft, magnitude, magnitude_spectrogram
+from repro.core.selector import Selector, StreamBatch, StreamRequest
+from repro.dsp.stft import (
+    StreamingISTFT,
+    StreamingSTFT,
+    batch_istft,
+    batch_stft,
+    magnitude,
+    magnitude_spectrogram,
+)
 from repro.nn.precision import active_policy
 
 
@@ -349,36 +357,136 @@ class NECSystem:
         return recorder.record_scene(sources)
 
 
+@dataclass
+class StreamLatencyStats:
+    """Samples-in → shadow-out accounting of one streaming session.
+
+    Every :meth:`StreamingProtector.feed` (and the final flush) records its
+    wall-clock; every emitted segment records how many samples had been fed
+    past its completion point before its shadow came out (zero when the shadow
+    is emitted inside the very feed that completed the segment; positive under
+    deferred :class:`~repro.core.selector.StreamBatch` scheduling).  The
+    algorithmic floor on top of that is always one segment of lookahead — the
+    Selector needs the whole segment spectrogram before any shadow exists.
+
+    ``budget_ms`` is the asserted per-feed budget: a feed (or flush) whose
+    wall-clock exceeds it counts a violation.  The streaming benchmark gates
+    on ``budget_violations == 0``.
+    """
+
+    budget_ms: Optional[float] = None
+    feeds: int = 0
+    total_feed_ms: float = 0.0
+    worst_feed_ms: float = 0.0
+    budget_violations: int = 0
+    emit_latency_samples: List[int] = field(default_factory=list)
+
+    @property
+    def mean_feed_ms(self) -> float:
+        return self.total_feed_ms / self.feeds if self.feeds else 0.0
+
+    @property
+    def worst_emit_latency_samples(self) -> int:
+        return max(self.emit_latency_samples, default=0)
+
+    def record_feed(self, elapsed_ms: float) -> None:
+        self.feeds += 1
+        self.total_feed_ms += elapsed_ms
+        self.worst_feed_ms = max(self.worst_feed_ms, elapsed_ms)
+        if self.budget_ms is not None and elapsed_ms > self.budget_ms:
+            self.budget_violations += 1
+
+    def record_emit(self, extra_samples: int) -> None:
+        self.emit_latency_samples.append(int(extra_samples))
+
+    def reset(self) -> None:
+        self.feeds = 0
+        self.total_feed_ms = 0.0
+        self.worst_feed_ms = 0.0
+        self.budget_violations = 0
+        self.emit_latency_samples = []
+
+
+@dataclass
+class _PendingSegment:
+    """One completed segment travelling through the streaming pipeline."""
+
+    raw: np.ndarray                 # float64 segment samples (possibly zero-padded)
+    stft: np.ndarray                # (F, T) complex frames, policy dtype
+    completed_at_samples: int       # samples_fed when the segment completed
+    trim_to: Optional[int] = None   # emitted wave length (flush tails)
+    request: Optional[StreamRequest] = None  # deferred mode only
+
+
 class StreamingProtector:
-    """Incremental protection of chunked audio with carried-over state.
+    """Real-time incremental protection on a fixed-lookahead ring pipeline.
 
     A deployment NEC device does not see whole clips: audio arrives from the
-    microphone in arbitrary-sized chunks.  This wrapper buffers incoming
-    samples, runs the batched engine whenever one or more full segments are
-    available, and emits the corresponding shadow waves immediately; the
-    partial tail is carried over to the next :meth:`feed`.  Concatenating all
-    emitted shadow waves (with a final :meth:`flush`) reproduces exactly what
-    :meth:`NECSystem.protect` emits for the whole clip at once::
+    microphone in arbitrary-sized chunks, and the shadow wave is only useful
+    if it is broadcast while the speech is still in the air.  This pipeline
+    therefore does bounded work per chunk:
 
-        protector = StreamingProtector(system)
+    - samples land in a **preallocated segment ring buffer** (no growing
+      array, no concatenate-and-slice);
+    - the **incremental STFT** (:class:`~repro.dsp.stft.StreamingSTFT`)
+      transforms only the frames each chunk completes, so the segment
+      spectrogram is already standing when its last sample arrives;
+    - a completed segment runs one gradient-free Selector pass — immediately,
+      or coalesced with other streams' segments when attached to a
+      :class:`~repro.core.selector.StreamBatch` (``feed`` then returns
+      nothing and finished results are picked up with :meth:`collect` after
+      ``stream_batch.tick()``);
+    - the shadow spectrogram is inverted through the tail-carrying
+      :class:`~repro.dsp.stft.StreamingISTFT` and emitted.
+
+    Concatenating all emitted shadow waves (with a final :meth:`flush`)
+    reproduces **exactly** what :meth:`NECSystem.protect` emits for the whole
+    clip at once, for any chunking — the equivalence the test-suite pins.
+    Per-feed wall-clock and per-segment emission lag are tracked in
+    :attr:`latency` (see :class:`StreamLatencyStats`), with an optional
+    ``latency_budget_ms`` asserted per feed::
+
+        protector = StreamingProtector(system, latency_budget_ms=300.0)
         for chunk in microphone_chunks:
             for result in protector.feed(chunk):
                 speaker.broadcast(result.shadow_wave)
         tail = protector.flush()          # last partial segment, zero-padded
+        assert protector.latency.budget_violations == 0
     """
 
-    def __init__(self, system: NECSystem, max_batch_segments: int = 16) -> None:
+    def __init__(
+        self,
+        system: NECSystem,
+        max_batch_segments: int = 16,
+        stream_batch: Optional[StreamBatch] = None,
+        latency_budget_ms: Optional[float] = None,
+    ) -> None:
         self.system = system
         self.max_batch_segments = max_batch_segments
-        self._buffer = np.zeros(0, dtype=np.float64)
+        self.stream_batch = stream_batch
+        config = system.config
+        self._segment = config.segment_samples
+        self._ring = np.zeros(self._segment, dtype=np.float64)
+        self._fill = 0
+        self._stft = StreamingSTFT(config.n_fft, config.win_length, config.hop_length)
+        self._frames: List[np.ndarray] = []
+        self._ready: List[_PendingSegment] = []      # completed, inference pending
+        self._submitted: List[_PendingSegment] = []  # deferred: awaiting a tick
+        self._segments_completed = 0
         self._segments_emitted = 0
         self._samples_fed = 0
+        self.latency = StreamLatencyStats(budget_ms=latency_budget_ms)
 
     # -- state ---------------------------------------------------------------
     @property
     def pending_samples(self) -> int:
-        """Samples buffered but not yet covered by an emitted segment."""
-        return int(self._buffer.size)
+        """Samples fed but not yet covered by an emitted shadow."""
+        ready = sum(segment.raw.size for segment in self._ready)
+        submitted = sum(
+            segment.trim_to if segment.trim_to is not None else segment.raw.size
+            for segment in self._submitted
+        )
+        return int(self._fill + ready + submitted)
 
     @property
     def segments_emitted(self) -> int:
@@ -388,11 +496,114 @@ class StreamingProtector:
     def samples_fed(self) -> int:
         return self._samples_fed
 
+    @property
+    def lookahead_samples(self) -> int:
+        """The pipeline's algorithmic latency floor: one full segment."""
+        return self._segment
+
     def reset(self) -> None:
         """Drop all carried-over state (start a new stream)."""
-        self._buffer = np.zeros(0, dtype=np.float64)
+        self._fill = 0
+        self._stft.reset()
+        self._frames = []
+        self._ready = []
+        self._submitted = []
+        self._segments_completed = 0
         self._segments_emitted = 0
         self._samples_fed = 0
+        self.latency.reset()
+
+    # -- pipeline stages -------------------------------------------------------
+    def _buffer_chunk(self, data: np.ndarray) -> None:
+        """Stage 1: ring-buffer fill + incremental STFT, segment by segment."""
+        position = 0
+        while position < data.size:
+            take = min(self._segment - self._fill, data.size - position)
+            piece = data[position : position + take]
+            self._ring[self._fill : self._fill + take] = piece
+            frames = self._stft.feed(piece)
+            if frames.shape[1]:
+                self._frames.append(frames)
+            self._fill += take
+            position += take
+            if self._fill == self._segment:
+                self._complete_segment()
+
+    def _complete_segment(self) -> None:
+        """A full segment is standing in the ring: queue it for inference."""
+        stft_frames = (
+            self._frames[0]
+            if len(self._frames) == 1
+            else np.concatenate(self._frames, axis=1)
+        )
+        self._segments_completed += 1
+        self._ready.append(
+            _PendingSegment(
+                raw=self._ring.copy(),
+                stft=stft_frames,
+                completed_at_samples=self._segments_completed * self._segment,
+            )
+        )
+        # Framing restarts per segment (exactly the batched engine's geometry);
+        # the sub-hop STFT carry never crosses a segment boundary.
+        self._stft.reset()
+        self._frames = []
+        self._fill = 0
+
+    def _build_result(
+        self,
+        segment: _PendingSegment,
+        mixed_spec: np.ndarray,
+        shadow_spec: np.ndarray,
+    ) -> ProtectionResult:
+        """Stage 3: record spectrogram + streaming iSTFT → one emitted result."""
+        config = self.system.config
+        record_spec = superpose_spectrograms(mixed_spec, shadow_spec)
+        phase = np.exp(1j * np.angle(segment.stft))
+        inverter = StreamingISTFT(config.win_length, config.hop_length)
+        head = inverter.feed(shadow_spec * phase)
+        tail = inverter.flush(length=self._segment)
+        wave = np.concatenate([head, tail]) if head.size else tail
+        emitted_length = segment.trim_to if segment.trim_to is not None else self._segment
+        shadow_wave = AudioSignal(wave, config.sample_rate).trim_to(emitted_length)
+        self._segments_emitted += 1
+        self.latency.record_emit(self._samples_fed - segment.completed_at_samples)
+        return ProtectionResult(
+            mixed_audio=AudioSignal(segment.raw[:emitted_length], config.sample_rate),
+            mixed_spectrogram=mixed_spec,
+            shadow_spectrogram=shadow_spec,
+            shadow_wave=shadow_wave,
+            record_spectrogram=record_spec,
+        )
+
+    def _drain_ready(self) -> List[ProtectionResult]:
+        """Stage 2: run (or defer) Selector inference on completed segments."""
+        if not self._ready:
+            return []
+        embedding = self.system.embedding  # fail fast *before* consuming state
+        if self.stream_batch is not None:
+            for segment in self._ready:
+                segment.request = self.stream_batch.submit(
+                    magnitude(segment.stft)[None, :, :], embedding
+                )
+            self._submitted.extend(self._ready)
+            self._ready = []
+            return []
+        results: List[ProtectionResult] = []
+        batch = max(self.max_batch_segments, 1)
+        for start in range(0, len(self._ready), batch):
+            group = self._ready[start : start + batch]
+            stfts = np.stack([segment.stft for segment in group])
+            mixed_specs = magnitude(stfts)
+            shadow_specs = self.system.selector.shadow_spectrogram_batch(
+                mixed_specs, embedding
+            )
+            for row, segment in enumerate(group):
+                results.append(
+                    self._build_result(segment, mixed_specs[row], shadow_specs[row])
+                )
+        self._ready = []
+        return results
 
     # -- streaming -----------------------------------------------------------
     def feed(self, chunk: Union[AudioSignal, np.ndarray]) -> List[ProtectionResult]:
@@ -401,27 +612,46 @@ class StreamingProtector:
         Each returned :class:`ProtectionResult` covers one full segment
         (``config.segment_samples`` samples of shadow wave).  Chunks may be of
         any size, including empty; several segments completed by one chunk are
-        protected in a single batched forward pass.
+        protected in a single batched forward pass.  Attached to a
+        :class:`~repro.core.selector.StreamBatch`, completed segments are
+        queued for the next coalescing tick instead and ``feed`` returns
+        ``[]`` — pick results up with :meth:`collect`.  A feed that fails
+        (e.g. before enrollment) never drops stream audio: the buffered
+        segments stay queued and the next feed retries them.
         """
+        started = time.perf_counter()
         if isinstance(chunk, AudioSignal):
             self.system._check_sample_rate(chunk)
             data = chunk.data
         else:
             data = np.asarray(chunk, dtype=np.float64).reshape(-1)
         self._samples_fed += data.size
-        self._buffer = np.concatenate([self._buffer, data]) if data.size else self._buffer
-        segment = self.system.config.segment_samples
-        full = self._buffer.size // segment
-        if full == 0:
-            return []
-        matrix = self._buffer[: full * segment].reshape(full, segment)
-        results = self.system.protect_segment_matrix(
-            matrix, max_batch_segments=self.max_batch_segments
-        )
-        # Consume the buffer only after the batched pass succeeded, so a failed
-        # feed (e.g. before enrollment) never silently drops stream audio.
-        self._buffer = self._buffer[full * segment :].copy()
-        self._segments_emitted += full
+        self._buffer_chunk(data)
+        results = self._drain_ready()
+        self.latency.record_feed(1000.0 * (time.perf_counter() - started))
+        return results
+
+    def collect(self) -> List[ProtectionResult]:
+        """Results whose coalesced inference tick has run (deferred mode).
+
+        Returns finished segments in stream order, stopping at the first one
+        still awaiting a :meth:`~repro.core.selector.StreamBatch.tick`.  In
+        immediate mode (no ``stream_batch``) there is never anything to
+        collect — :meth:`feed` returns results directly.
+        """
+        started = time.perf_counter()
+        results: List[ProtectionResult] = []
+        while self._submitted and self._submitted[0].request is not None and self._submitted[0].request.done:
+            segment = self._submitted.pop(0)
+            results.append(
+                self._build_result(
+                    segment,
+                    segment.request.mixed_spectrograms[0],
+                    segment.request.shadow_spectrograms[0],
+                )
+            )
+        if results:
+            self.latency.record_feed(1000.0 * (time.perf_counter() - started))
         return results
 
     def flush(self) -> Optional[ProtectionResult]:
@@ -430,21 +660,24 @@ class StreamingProtector:
         The emitted shadow wave is trimmed to the actual number of buffered
         samples so that the concatenation of every emitted wave matches
         :meth:`NECSystem.protect` on the whole stream.  Returns ``None`` when
-        the buffer is empty.
+        the buffer is empty — and always in deferred mode, where the padded
+        tail is queued for the next tick and comes out of :meth:`collect`.
         """
-        if self._buffer.size == 0:
+        if self._ready:
+            raise RuntimeError(
+                "undrained completed segments (a previous feed failed); "
+                "retry with feed(()) before flushing"
+            )
+        if self._fill == 0:
             return None
-        segment = self.system.config.segment_samples
-        pending = self._buffer.size
-        padded = np.zeros((1, segment))
-        padded[0, :pending] = self._buffer
-        result = self.system.protect_segment_matrix(padded)[0]
-        self._buffer = np.zeros(0, dtype=np.float64)
-        self._segments_emitted += 1
-        return ProtectionResult(
-            mixed_audio=AudioSignal(padded[0, :pending], self.system.config.sample_rate),
-            mixed_spectrogram=result.mixed_spectrogram,
-            shadow_spectrogram=result.shadow_spectrogram,
-            shadow_wave=result.shadow_wave.trim_to(pending),
-            record_spectrogram=result.record_spectrogram,
-        )
+        started = time.perf_counter()
+        pending = self._fill
+        self._buffer_chunk(np.zeros(self._segment - pending))
+        tail_segment = self._ready[-1]
+        tail_segment.trim_to = pending
+        # The pad samples are pipeline filler, not stream audio: completion
+        # happened when the last real sample arrived.
+        tail_segment.completed_at_samples = self._samples_fed
+        results = self._drain_ready()
+        self.latency.record_feed(1000.0 * (time.perf_counter() - started))
+        return results[0] if results else None

@@ -25,6 +25,9 @@ compares both.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -122,8 +125,11 @@ class Selector(Module):
         """Selector output for a batch of segments, without autograd.
 
         ``mixed_spectrograms``: ``(N, F, T)`` stacked magnitude spectrograms.
-        ``d_vector``: ``(embedding_dim,)`` reference embedding shared by the
-        batch (one protected speaker serves all segments of a clip).
+        ``d_vector``: either one ``(embedding_dim,)`` reference embedding
+        shared by the batch (all segments of one protected speaker's clip) or
+        a ``(N, embedding_dim)`` matrix of per-segment embeddings — the shape
+        the cross-stream micro-batcher (:class:`StreamBatch`) needs, where one
+        tick coalesces segments belonging to *different* enrolled speakers.
         Returns the raw head output of shape ``(N, T, F)``.
 
         Every operation mirrors :meth:`forward` exactly — same log-compression
@@ -147,6 +153,13 @@ class Selector(Module):
             raise ValueError(
                 f"expected {self.config.frequency_bins} frequency bins, got {freq_bins}"
             )
+        if d_vector.ndim == 2 and d_vector.shape[0] != num_segments:
+            raise ValueError(
+                f"per-segment d_vectors must be ({num_segments}, dim), "
+                f"got shape {d_vector.shape}"
+            )
+        if d_vector.ndim not in (1, 2):
+            raise ValueError("d_vector must be (dim,) or (N, dim)")
         if num_segments == 0:
             return np.zeros((0, frames, freq_bins), dtype=policy.real_dtype)
 
@@ -171,10 +184,13 @@ class Selector(Module):
             num_segments, frames, 2 * freq_bins
         )
 
-        # Concatenate the d-vector to every frame of every segment.
-        tiled = np.broadcast_to(
-            d_vector.reshape(1, 1, -1), (num_segments, frames, d_vector.size)
-        )
+        # Concatenate the d-vector to every frame of every segment (segment
+        # ``n`` sees row ``n`` when per-segment embeddings are supplied; the
+        # concatenation and the matmuls below are row-independent either way,
+        # so each row stays bit-identical to the single-vector pass).
+        embedding_dim = d_vector.shape[-1]
+        source = d_vector.reshape(1, 1, -1) if d_vector.ndim == 1 else d_vector[:, None, :]
+        tiled = np.broadcast_to(source, (num_segments, frames, embedding_dim))
         fused = np.concatenate([features, tiled], axis=2)
 
         # The (N, T, in) @ (in, out) matmul broadcasts into N per-segment GEMMs
@@ -208,9 +224,11 @@ class Selector(Module):
     ) -> np.ndarray:
         """Signed shadow spectrograms for a ``(N, F, T)`` batch, shape ``(N, F, T)``.
 
-        Under the default float64 policy row ``n`` equals
-        ``shadow_spectrogram(mixed_spectrograms[n], d_vector)`` bit for bit;
-        see :meth:`forward_batch` for why (and for the float32 mode).
+        ``d_vector`` may be one shared ``(dim,)`` embedding or per-segment
+        ``(N, dim)`` rows (see :meth:`forward_batch`).  Under the default
+        float64 policy row ``n`` equals
+        ``shadow_spectrogram(mixed_spectrograms[n], d_vector[n])`` bit for
+        bit; see :meth:`forward_batch` for why (and for the float32 mode).
         """
         mixed = active_policy().real(np.asarray(mixed_spectrograms))
         output = self.forward_batch(mixed, d_vector).transpose(0, 2, 1)  # (N, F, T)
@@ -223,3 +241,132 @@ class Selector(Module):
     ) -> np.ndarray:
         """Estimated magnitude spectrogram of the target speaker, shape ``(F, T)``."""
         return -self.shadow_spectrogram(mixed_spectrogram, d_vector)
+
+
+@dataclass
+class StreamRequest:
+    """One stream's pending segment-inference request inside a :class:`StreamBatch`.
+
+    ``mixed_spectrograms`` holds the stream's completed segments awaiting
+    inference (``(n, F, T)``); after the coalescing tick, ``shadow_spectrograms``
+    holds the corresponding signed shadows, bit-identical to what a dedicated
+    per-stream pass would have produced.
+    """
+
+    mixed_spectrograms: np.ndarray  # (n, F, T)
+    d_vector: np.ndarray            # (embedding_dim,)
+    shadow_spectrograms: Optional[np.ndarray] = None  # (n, F, T) once ticked
+
+    @property
+    def done(self) -> bool:
+        return self.shadow_spectrograms is not None
+
+
+class StreamBatch:
+    """Cross-stream micro-batching of Selector inference (continuous batching).
+
+    Many concurrent streaming protectors each complete segments at their own
+    pace; running one Selector pass per stream per segment pays the Python
+    dispatch, im2col setup and small-GEMM cost once *per stream*.  A
+    ``StreamBatch`` instead collects every pending segment — across streams,
+    across enrolled speakers — and runs **one** batched gradient-free pass per
+    :meth:`tick`, exactly the scheduler primitive a multi-tenant serving layer
+    needs.  Coalescing never changes a number: every row of the stacked pass
+    is bit-identical to that stream's dedicated pass (pinned by the test
+    suite), because :meth:`Selector.forward_batch` is row-independent even
+    with per-row d-vectors.
+    """
+
+    def __init__(
+        self,
+        selector: Selector,
+        max_batch_segments: int = 16,
+        num_workers: Optional[int] = None,
+    ) -> None:
+        self.selector = selector
+        self.max_batch_segments = max(int(max_batch_segments), 1)
+        if num_workers is None:
+            num_workers = min(os.cpu_count() or 1, 4)
+        self.num_workers = max(int(num_workers), 1)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pending: List[StreamRequest] = []
+        self.ticks = 0
+        self.segments_coalesced = 0
+        self.batch_sizes: List[int] = []
+
+    @property
+    def pending_segments(self) -> int:
+        return sum(request.mixed_spectrograms.shape[0] for request in self._pending)
+
+    def submit(self, mixed_spectrograms: np.ndarray, d_vector: np.ndarray) -> StreamRequest:
+        """Queue ``(n, F, T)`` segments of one stream for the next tick."""
+        mixed = np.asarray(mixed_spectrograms)
+        if mixed.ndim != 3:
+            raise ValueError("submit expects a (n, F, T) stack of spectrograms")
+        request = StreamRequest(
+            mixed_spectrograms=mixed, d_vector=np.asarray(d_vector)
+        )
+        self._pending.append(request)
+        return request
+
+    def tick(self) -> int:
+        """Run one coalesced inference pass over every pending segment.
+
+        Segments from all queued requests are stacked (chunked at
+        ``max_batch_segments`` to bound the im2col working set, like the
+        batched protect engine) with their per-row d-vectors, inferred in one
+        batched pass per chunk, and the shadows scattered back to their
+        requests.  Returns the number of segments inferred.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            self.ticks += 1
+            self.batch_sizes.append(0)
+            return 0
+        counts = [request.mixed_spectrograms.shape[0] for request in pending]
+        specs = np.concatenate([request.mixed_spectrograms for request in pending], axis=0)
+        vectors = np.concatenate(
+            [
+                np.broadcast_to(
+                    np.asarray(request.d_vector).reshape(1, -1),
+                    (count, np.asarray(request.d_vector).size),
+                )
+                for request, count in zip(pending, counts)
+            ],
+            axis=0,
+        )
+        starts = list(range(0, specs.shape[0], self.max_batch_segments))
+        if self.num_workers > 1 and len(starts) > 1:
+            # Chunks are independent rows, so fanning them out over worker
+            # threads changes nothing but the wall clock: each chunk runs
+            # exactly the pass it would have run serially (numpy releases the
+            # GIL inside the heavy kernels, and the im2col buffers are
+            # thread-local).
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+            futures = [
+                self._pool.submit(
+                    self.selector.shadow_spectrogram_batch,
+                    specs[start : start + self.max_batch_segments],
+                    vectors[start : start + self.max_batch_segments],
+                )
+                for start in starts
+            ]
+            shadows = [future.result() for future in futures]
+        else:
+            shadows = [
+                self.selector.shadow_spectrogram_batch(
+                    specs[start : start + self.max_batch_segments],
+                    vectors[start : start + self.max_batch_segments],
+                )
+                for start in starts
+            ]
+        stacked = np.concatenate(shadows, axis=0)
+        offset = 0
+        for request, count in zip(pending, counts):
+            request.shadow_spectrograms = stacked[offset : offset + count]
+            offset += count
+        self.ticks += 1
+        self.segments_coalesced += specs.shape[0]
+        self.batch_sizes.append(int(specs.shape[0]))
+        return int(specs.shape[0])

@@ -23,6 +23,8 @@ from repro.dsp.stft import (
     spectrogram_shape,
     reconstruct_waveform,
     griffin_lim,
+    StreamingSTFT,
+    StreamingISTFT,
 )
 from repro.dsp.las import (
     long_time_average_spectrum,
@@ -73,6 +75,8 @@ __all__ = [
     "spectrogram_shape",
     "reconstruct_waveform",
     "griffin_lim",
+    "StreamingSTFT",
+    "StreamingISTFT",
     "long_time_average_spectrum",
     "las_correlation",
     "las_correlation_matrix",

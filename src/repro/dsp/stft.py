@@ -293,6 +293,319 @@ def magnitude_spectrogram(
     return magnitude(stft(signal, n_fft, win_length, hop_length, window))
 
 
+# ---------------------------------------------------------------------------
+# Incremental (streaming) STFT / iSTFT
+# ---------------------------------------------------------------------------
+class StreamingSTFT:
+    """Incremental STFT: feed sample chunks, get exactly the new frames.
+
+    The real-time pipeline cannot afford to re-transform a whole buffered clip
+    per chunk.  This state object carries the residual samples after the last
+    emitted frame's hop boundary and, per :meth:`feed`, computes only the
+    frames the new chunk completes.  The concatenation of every emitted frame
+    block is **bit-identical** to ``stft(concatenated_chunks, ...)`` for any
+    chunking (including sub-hop chunks): the framing offsets are carried, the
+    same cached window multiplies each frame, and each frame's rfft is an
+    independent pocketfft row transform, so the split into feeds never changes
+    a value.  The active precision policy selects the compute dtype per feed.
+    """
+
+    def __init__(
+        self,
+        n_fft: int = 1200,
+        win_length: int = 400,
+        hop_length: int = 160,
+        window: str = "hann",
+    ) -> None:
+        if win_length > n_fft:
+            raise ValueError("win_length must be <= n_fft")
+        if hop_length <= 0 or hop_length > win_length:
+            raise ValueError("hop_length must be in (0, win_length]")
+        self.n_fft = n_fft
+        self.win_length = win_length
+        self.hop_length = hop_length
+        self.window = window
+        self._carry = np.zeros(0, dtype=np.float64)
+        self._frames_emitted = 0
+        self._samples_fed = 0
+
+    @property
+    def frequency_bins(self) -> int:
+        return self.n_fft // 2 + 1
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples carried over but not yet covered by an emitted frame hop."""
+        return int(self._carry.size)
+
+    @property
+    def frames_emitted(self) -> int:
+        return self._frames_emitted
+
+    @property
+    def samples_fed(self) -> int:
+        return self._samples_fed
+
+    def reset(self) -> None:
+        self._carry = np.zeros(0, dtype=np.float64)
+        self._frames_emitted = 0
+        self._samples_fed = 0
+
+    def feed(self, samples: np.ndarray) -> np.ndarray:
+        """Append samples; return the newly completed frames, shape ``(F, t)``.
+
+        ``t`` may be zero (chunk too small to finish a frame).  Emitted frame
+        ``k`` (globally) equals column ``k`` of the whole-signal STFT.
+        """
+        policy = active_policy()
+        data = policy.real(np.asarray(samples)).reshape(-1)
+        self._samples_fed += int(data.size)
+        carry = policy.real(self._carry)
+        buffer = np.concatenate([carry, data]) if carry.size else data
+        if buffer.size < self.win_length:
+            # Own the storage: `buffer` may alias the caller's chunk.
+            self._carry = buffer.copy()
+            return np.zeros((self.frequency_bins, 0), dtype=policy.complex_dtype)
+        count = 1 + (buffer.size - self.win_length) // self.hop_length
+        win = policy.real(get_window(self.window, self.win_length))
+        starts = np.arange(count) * self.hop_length
+        frames = buffer[starts[:, None] + np.arange(self.win_length)[None, :]] * win
+        spectrum = _scipy_fft.rfft(frames, n=self.n_fft, axis=1)
+        self._carry = buffer[count * self.hop_length :].copy()
+        self._frames_emitted += count
+        return spectrum.T  # (freq_bins, new_frames)
+
+    def flush(self) -> np.ndarray:
+        """Terminal frames of the stream, shape ``(F, t)``.
+
+        Mirrors :func:`stft` end-of-signal semantics exactly: a stream that
+        never filled one analysis window yields the single zero-padded frame
+        ``stft`` would produce; otherwise trailing samples shorter than a
+        window are dropped, exactly like the batch framing.
+        """
+        policy = active_policy()
+        if self._frames_emitted == 0 and self._carry.size:
+            signal = np.pad(
+                policy.real(self._carry), (0, self.win_length - self._carry.size)
+            )
+            win = policy.real(get_window(self.window, self.win_length))
+            spectrum = _scipy_fft.rfft((signal * win)[None, :], n=self.n_fft, axis=1)
+            self._carry = np.zeros(0, dtype=np.float64)
+            self._frames_emitted += 1
+            return spectrum.T
+        self._carry = np.zeros(0, dtype=np.float64)
+        return np.zeros((self.frequency_bins, 0), dtype=policy.complex_dtype)
+
+
+class StreamingISTFT:
+    """Incremental inverse STFT with carried overlap-add tails.
+
+    Feed complex frame blocks, receive the samples no future frame can touch;
+    :meth:`flush` emits the held-back tail.  The concatenation of everything
+    emitted is **bit-identical** to ``istft(all_frames, ...)`` (and therefore
+    to each row of :func:`batch_istft`):
+
+    - When the hop divides the window (the test/benchmark geometries), output
+      block ``b`` is finalised the moment frame ``b`` arrives, accumulated in
+      the exact tile order of :func:`_overlap_add` (window multiply fused,
+      tile ``j`` of frame ``b - j``, ``j`` ascending) with the window-norm
+      envelope accumulated in the exact frame-ascending order of
+      :func:`_ola_plan` — so every emitted sample carries the same bits as the
+      batch kernel's.  Only the last ``win/hop - 1`` hop blocks ride in the
+      carried tail.
+    - Otherwise (e.g. the paper's 400/160 geometry) frames are held and the
+      whole inversion runs through the batch kernel at :meth:`flush` — still
+      bit-identical, just without early emission.
+
+    The emission threshold of the norm envelope's "safe to divide" mask needs
+    the envelope maximum, which is only pinned once one full window of frames
+    has been seen; streams shorter than that also fall back to the batch
+    kernel at flush.
+    """
+
+    def __init__(
+        self,
+        win_length: int = 400,
+        hop_length: int = 160,
+        window: str = "hann",
+    ) -> None:
+        if hop_length <= 0 or hop_length > win_length:
+            raise ValueError("hop_length must be in (0, win_length]")
+        self.win_length = win_length
+        self.hop_length = hop_length
+        self.window = window
+        self.incremental = win_length % hop_length == 0
+        self._tiles = win_length // hop_length if self.incremental else 0
+        self._held: List[np.ndarray] = []  # time-domain frames, (t, win) blocks
+        self._held_offset = 0  # global index of the first held frame
+        self._num_frames = 0
+        self._blocks_emitted = 0
+        self._samples_emitted = 0
+        self._flushed = False
+
+    # -- state -----------------------------------------------------------
+    @property
+    def frames_fed(self) -> int:
+        return self._num_frames
+
+    @property
+    def samples_emitted(self) -> int:
+        return self._samples_emitted
+
+    def reset(self) -> None:
+        self._held = []
+        self._held_offset = 0
+        self._num_frames = 0
+        self._blocks_emitted = 0
+        self._samples_emitted = 0
+        self._flushed = False
+
+    # -- internals -------------------------------------------------------
+    def _held_frames(self) -> np.ndarray:
+        if len(self._held) == 1:
+            return self._held[0]
+        if not self._held:
+            return np.zeros((0, self.win_length))
+        merged = np.concatenate(self._held, axis=0)
+        self._held = [merged]
+        return merged
+
+    def _norm_plan(self) -> Tuple[np.ndarray, float]:
+        """The float64 squared window and the envelope's safe threshold."""
+        win_sq = get_window(self.window, self.win_length) ** 2
+        hop = self.hop_length
+        steady = np.zeros(hop)
+        # Frame-ascending accumulation (j descending), mirroring _ola_plan's
+        # per-frame loop so partial head/tail sums reuse the same bit pattern.
+        for j in reversed(range(self._tiles)):
+            steady += win_sq[j * hop : (j + 1) * hop]
+        threshold = max(float(steady.max()) * 1e-2, 1e-10)
+        return win_sq, threshold
+
+    def _emit_blocks(self, first_block: int, last_block: int, policy) -> np.ndarray:
+        """Finalised output blocks ``[first_block, last_block]``, inclusive.
+
+        Mirrors :func:`_overlap_add` (tile ``j`` ascending into a zeroed
+        accumulator — the reference's initial assign equals ``0 + x`` exactly)
+        and :func:`_ola_plan` / :func:`_finalize_istft` (float64 envelope in
+        frame-ascending order, masked reciprocal cast to the policy dtype).
+        """
+        hop, win = self.hop_length, self.win_length
+        count = last_block - first_block + 1
+        if count <= 0:
+            return np.zeros(0, dtype=policy.real_dtype)
+        frames = self._held_frames()
+        window = policy.real(get_window(self.window, win))
+        output = np.zeros((count, hop), dtype=frames.dtype)
+        norm = np.zeros((count, hop))
+        win_sq, threshold = self._norm_plan()
+        blocks = np.arange(first_block, last_block + 1)
+        for j in range(self._tiles):
+            sources = blocks - j  # frame feeding tile j of each block
+            valid = (sources >= 0) & (sources < self._num_frames)
+            if not valid.any():
+                continue
+            tile = slice(j * hop, (j + 1) * hop)
+            rows = sources[valid] - self._held_offset
+            output[valid] += frames[rows, tile] * window[tile]
+        for j in reversed(range(self._tiles)):  # frame-ascending per sample
+            sources = blocks - j
+            valid = (sources >= 0) & (sources < self._num_frames)
+            if valid.any():
+                norm[valid] += win_sq[j * self.hop_length : (j + 1) * self.hop_length]
+        inverse = np.ones_like(norm)
+        safe = norm > threshold
+        inverse[safe] = 1.0 / norm[safe]
+        output *= inverse.astype(policy.real_dtype, copy=False)
+        self._blocks_emitted = last_block + 1
+        flat = output.reshape(-1)
+        self._samples_emitted += flat.size
+        return flat
+
+    def _drop_consumed_frames(self) -> None:
+        """Forget frames no future block can read (older than ``tiles - 1``)."""
+        keep_from = max(self._num_frames - (self._tiles - 1), self._held_offset)
+        if keep_from == self._held_offset:
+            return
+        frames = self._held_frames()
+        self._held = [frames[keep_from - self._held_offset :]]
+        self._held_offset = keep_from
+
+    # -- streaming -------------------------------------------------------
+    def feed(self, spectra: np.ndarray) -> np.ndarray:
+        """Append ``(F, t)`` complex frames; return the finalised samples.
+
+        Emission is withheld while fewer than one window's worth of frames
+        has been seen (see the class note on the envelope threshold) and in
+        the non-dividing-hop fallback mode; :meth:`flush` always completes
+        the stream either way.
+        """
+        if self._flushed:
+            raise RuntimeError("stream already flushed; call reset() first")
+        policy = active_policy()
+        spectra = policy.complex(np.asarray(spectra))
+        if spectra.ndim != 2:
+            raise ValueError("StreamingISTFT.feed expects a (F, t) frame block")
+        if spectra.shape[1]:
+            n_fft = (spectra.shape[0] - 1) * 2
+            frames = _scipy_fft.irfft(spectra.T, n=n_fft, axis=1)[:, : self.win_length]
+            self._held.append(frames)
+            self._num_frames += frames.shape[0]
+        if not self.incremental or self._num_frames < self._tiles:
+            return np.zeros(0, dtype=policy.real_dtype)
+        emitted = self._emit_blocks(self._blocks_emitted, self._num_frames - 1, policy)
+        self._drop_consumed_frames()
+        return emitted
+
+    def flush(self, length: Optional[int] = None) -> np.ndarray:
+        """Emit the carried tail; total output then equals the batch kernel's.
+
+        ``length`` applies to the **whole stream** (like ``istft(length=...)``):
+        the tail is trimmed or zero-padded so everything emitted totals
+        ``length`` samples.  Trimming below what :meth:`feed` already emitted
+        is an error — hold emission (non-incremental mode) if that can occur.
+        """
+        if self._flushed:
+            raise RuntimeError("stream already flushed; call reset() first")
+        policy = active_policy()
+        self._flushed = True
+        if self._num_frames == 0:
+            return np.zeros(length or 0, dtype=policy.real_dtype)
+        if not self.incremental or self._num_frames < self._tiles:
+            # Exact batch-kernel fallback on the full held frame set.
+            frames = self._held_frames()
+            win, _norm, _safe, inverse = _ola_plan(
+                self.window,
+                self.win_length,
+                self.hop_length,
+                self._num_frames,
+                policy.real_dtype,
+            )
+            expected = self.win_length + self.hop_length * (self._num_frames - 1)
+            output = _overlap_add(
+                policy.real(frames), win, self.hop_length, expected
+            )
+            tail = _finalize_istft(output, inverse, expected, length)
+            self._samples_emitted += tail.size
+            return tail
+        last_block = self._num_frames + self._tiles - 2
+        tail = self._emit_blocks(self._blocks_emitted, last_block, policy)
+        expected = self.win_length + self.hop_length * (self._num_frames - 1)
+        tail = tail[: max(expected - (self._samples_emitted - tail.size), 0)]
+        if length is not None:
+            already = self._samples_emitted - tail.size
+            if length < already:
+                raise ValueError(
+                    f"flush(length={length}) below the {already} samples already emitted"
+                )
+            if length - already <= tail.size:
+                tail = tail[: length - already]
+            else:
+                tail = np.pad(tail, (0, length - already - tail.size))
+            self._samples_emitted = already + tail.size
+        return tail
+
+
 def spectrogram_shape(
     num_samples: int,
     n_fft: int = 1200,

@@ -29,10 +29,15 @@ from repro.eval.runtime import (
     run_runtime_analysis,
     run_batched_runtime_analysis,
     run_eval_fastpath_analysis,
+    run_streaming_rtf_analysis,
+    run_perf_trajectory,
     RuntimeResult,
     BatchedRuntimeResult,
     EvalFastpathResult,
     KernelTiming,
+    StreamingRuntimeResult,
+    StreamChunkTiming,
+    StreamScalingTiming,
 )
 from repro.eval.device_study import run_device_study, DeviceStudyResult
 from repro.eval.multi_recorder import run_multi_recorder_study, MultiRecorderResult
@@ -63,10 +68,15 @@ __all__ = [
     "run_runtime_analysis",
     "run_batched_runtime_analysis",
     "run_eval_fastpath_analysis",
+    "run_streaming_rtf_analysis",
+    "run_perf_trajectory",
     "BatchedRuntimeResult",
     "EvalFastpathResult",
     "KernelTiming",
     "RuntimeResult",
+    "StreamingRuntimeResult",
+    "StreamChunkTiming",
+    "StreamScalingTiming",
     "run_device_study",
     "DeviceStudyResult",
     "run_multi_recorder_study",

@@ -26,7 +26,12 @@ from repro.nn.layers import (
     ZeroPad2d,
     LayerNorm,
 )
-from repro.nn.conv import Conv2d, strided_im2col
+from repro.nn.conv import (
+    Conv2d,
+    strided_im2col,
+    clear_im2col_buffer_cache,
+    im2col_buffer_cache_info,
+)
 from repro.nn.recurrent import LSTM, LSTMCell
 from repro.nn.losses import mse_loss, l1_loss, cross_entropy_loss, cosine_embedding_loss
 from repro.nn.optim import SGD, Adam, Optimizer
@@ -50,6 +55,8 @@ __all__ = [
     "LayerNorm",
     "Conv2d",
     "strided_im2col",
+    "clear_im2col_buffer_cache",
+    "im2col_buffer_cache_info",
     "LSTM",
     "LSTMCell",
     "mse_loss",
