@@ -1,0 +1,82 @@
+"""Multi-tenant serving: shadow latency percentiles and throughput under load.
+
+Drives the full :class:`~repro.serving.service.ProtectionService` — registry
+bootstrap from disk, live tick thread, shared
+:class:`~repro.core.selector.StreamBatch` — at the paper's deployment timing
+(16 kHz, 1 s segments) with 1 / 8 / 64 concurrent sessions, and writes
+p50/p99 shadow latency plus aggregate throughput to ``BENCH_serving.json`` —
+uploaded by CI (override the path with ``BENCH_SERVING_JSON``).
+
+The hard gates (timing noise cannot touch the first three):
+
+- **serving-vs-direct equivalence** — shadow waves through the service are
+  bit-identical to dedicated per-stream protectors at every concurrency;
+- **registry round trip** — the service ran on weights and d-vectors freshly
+  reloaded from disk, and the equivalence above compares against the
+  *pre-save* system, so save → load → protect changed no bits;
+- **zero budget violations at <= 8 streams** — every feed under the paper's
+  ~300 ms overshadowing tolerance at the multi-tenant serving floor (at 64
+  streams on small hosts the coalesced tick legitimately exceeds a single
+  chunk budget; that point is reported, not gated);
+- throughput: the 8-stream point must stay under real time (RTF < 1).
+"""
+
+import json
+import os
+
+from repro.serving import run_serving_analysis
+
+_DEFAULT_ARTIFACT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_serving.json"
+)
+
+#: The multi-tenant serving floor: budget + real-time gates apply up to here.
+GATED_STREAMS = 8
+
+
+def _gates_met(result):
+    return (
+        result.all_equivalent
+        and result.registry_round_trip
+        and all(
+            point.budget_violations == 0 and point.real_time
+            for point in result.points
+            if point.num_streams <= GATED_STREAMS
+        )
+    )
+
+
+def _analysis_with_retry():
+    """One retry if a timing gate narrowly misses (shared-machine noise)."""
+    result = run_serving_analysis()
+    if not _gates_met(result):
+        result = run_serving_analysis()
+    return result
+
+
+def test_serving(benchmark):
+    result = benchmark.pedantic(_analysis_with_retry, rounds=1, iterations=1)
+    print("\n[Multi-tenant serving] shadow latency and throughput:")
+    print(result.table())
+
+    artifact_path = os.environ.get("BENCH_SERVING_JSON", _DEFAULT_ARTIFACT)
+    with open(artifact_path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+    print(f"  wrote perf artifact: {artifact_path}")
+
+    # Hard contract: the service is bit-transparent — same shadows as direct
+    # per-stream protectors, on registry-round-tripped weights and d-vectors.
+    assert result.all_equivalent, "service output diverged from direct protectors"
+    assert result.registry_round_trip, "registry reload lost enrollment state"
+
+    # Latency and throughput gates at the serving floor.
+    for point in result.points:
+        if point.num_streams > GATED_STREAMS:
+            continue
+        assert point.budget_violations == 0, (
+            f"{point.budget_violations} feeds over "
+            f"{result.latency_budget_ms:.0f} ms at {point.num_streams} streams"
+        )
+        assert point.real_time, (
+            f"RTF {point.rtf:.3f} >= 1 at {point.num_streams} streams"
+        )

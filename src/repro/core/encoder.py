@@ -87,17 +87,24 @@ class SpeakerEncoder:
         return self.embed([reference])
 
 
-class SpectralEncoder(SpeakerEncoder):
+class SpectralEncoder(SpeakerEncoder, Module):
     """Training-free d-vector substitute based on LAS / log-mel statistics.
 
     The utterance features are projected through a fixed random (but
     seed-deterministic) orthogonal-ish matrix and L2-normalised.  Because the
     features themselves are utterance-independent but speaker-specific
     (Sec. III), the embedding inherits those properties without training.
+
+    The projection matrix is the encoder's only state and is registered as a
+    :class:`~repro.nn.layers.Module` buffer, so
+    :func:`repro.nn.serialization.save_model` / ``load_model`` round-trip the
+    encoder bit-identically — the enrollment registry's persistence path for
+    re-embedding after a process restart.
     """
 
     def __init__(self, config: NECConfig, seed: int = 0) -> None:
-        super().__init__(config)
+        SpeakerEncoder.__init__(self, config)
+        Module.__init__(self)
         rng = np.random.default_rng(seed)
         projection = rng.normal(size=(self.feature_dim, config.embedding_dim))
         # Orthonormalise for a well-conditioned projection.  QR only yields
@@ -112,6 +119,7 @@ class SpectralEncoder(SpeakerEncoder):
         else:
             q, _ = np.linalg.qr(projection.T)
             self._projection = q[:, : self.feature_dim].T
+        self._buffers = ("_projection",)
 
     def embed(self, references: Sequence[AudioSignal | np.ndarray]) -> np.ndarray:
         features = self._pooled_features(references)

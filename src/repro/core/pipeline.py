@@ -102,6 +102,25 @@ class NECSystem:
         self._embedding = self.encoder.embed(reference_audios)
         return self._embedding
 
+    def set_embedding(self, embedding: np.ndarray) -> np.ndarray:
+        """Install a previously computed d-vector without re-running enrollment.
+
+        This is the restore path of the multi-tenant enrollment registry
+        (:mod:`repro.serving`): the registry persists each tenant's d-vector
+        at enrollment time, and a restarted service re-installs it verbatim —
+        protection after a reload is bit-identical to protection before it
+        because the embedding bytes are exactly the ones :meth:`enroll`
+        produced.
+        """
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        if embedding.size != self.config.embedding_dim:
+            raise ValueError(
+                f"expected a {self.config.embedding_dim}-dim embedding, "
+                f"got {embedding.size}"
+            )
+        self._embedding = embedding
+        return self._embedding
+
     @property
     def is_enrolled(self) -> bool:
         return self._embedding is not None
@@ -487,6 +506,20 @@ class StreamingProtector:
             for segment in self._submitted
         )
         return int(self._fill + ready + submitted)
+
+    @property
+    def pending_inference_segments(self) -> int:
+        """Completed segments whose Selector pass has not been collected yet."""
+        return len(self._ready) + len(self._submitted)
+
+    @property
+    def next_result_ready(self) -> bool:
+        """True when :meth:`collect` would return at least one result now."""
+        return bool(
+            self._submitted
+            and self._submitted[0].request is not None
+            and self._submitted[0].request.done
+        )
 
     @property
     def segments_emitted(self) -> int:

@@ -26,6 +26,7 @@ compares both.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional
@@ -275,6 +276,13 @@ class StreamBatch:
     is bit-identical to that stream's dedicated pass (pinned by the test
     suite), because :meth:`Selector.forward_batch` is row-independent even
     with per-row d-vectors.
+
+    :meth:`submit` and the pending-queue handoff in :meth:`tick` are
+    thread-safe, so producer threads (streaming sessions) may submit while a
+    dedicated ticker thread drives inference — the shape of the serving event
+    loop (:mod:`repro.serving`).  The inference itself still runs one tick at
+    a time.  A long-lived process must :meth:`close` the batch (or use it as
+    a context manager) to reclaim the worker threads of the tick fan-out.
     """
 
     def __init__(
@@ -290,24 +298,61 @@ class StreamBatch:
         self.num_workers = max(int(num_workers), 1)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pending: List[StreamRequest] = []
+        self._lock = threading.Lock()
+        self._closed = False
         self.ticks = 0
         self.segments_coalesced = 0
         self.batch_sizes: List[int] = []
 
     @property
     def pending_segments(self) -> int:
-        return sum(request.mixed_spectrograms.shape[0] for request in self._pending)
+        with self._lock:
+            return sum(request.mixed_spectrograms.shape[0] for request in self._pending)
+
+    @property
+    def pending_requests(self) -> int:
+        """Queued requests awaiting a tick (zero-segment submits included)."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def submit(self, mixed_spectrograms: np.ndarray, d_vector: np.ndarray) -> StreamRequest:
         """Queue ``(n, F, T)`` segments of one stream for the next tick."""
         mixed = np.asarray(mixed_spectrograms)
         if mixed.ndim != 3:
             raise ValueError("submit expects a (n, F, T) stack of spectrograms")
+        if self._closed:
+            raise RuntimeError("StreamBatch is closed")
         request = StreamRequest(
             mixed_spectrograms=mixed, d_vector=np.asarray(d_vector)
         )
-        self._pending.append(request)
+        with self._lock:
+            self._pending.append(request)
         return request
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the tick worker pool and refuse further submits.
+
+        A ``StreamBatch`` owns up to ``num_workers`` threads once a threaded
+        tick has run; in a long-lived serving process those threads must be
+        reclaimed when the batch is retired (one leaked pool per batch object
+        adds up fast).  Idempotent; ticking an already-drained closed batch is
+        a no-op, but submitting to one raises.
+        """
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "StreamBatch":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def tick(self) -> int:
         """Run one coalesced inference pass over every pending segment.
@@ -317,13 +362,28 @@ class StreamBatch:
         batched protect engine) with their per-row d-vectors, inferred in one
         batched pass per chunk, and the shadows scattered back to their
         requests.  Returns the number of segments inferred.
+
+        A tick with nothing to infer — no queued requests, or only
+        zero-segment submits (an idle stream heartbeating the scheduler) — is
+        a clean no-op: empty requests are still marked done (their shadow
+        stack is the matching ``(0, F, T)`` empty array) so collectors never
+        wait on a segment that does not exist.
         """
-        pending, self._pending = self._pending, []
+        with self._lock:
+            pending, self._pending = self._pending, []
         if not pending:
             self.ticks += 1
             self.batch_sizes.append(0)
             return 0
         counts = [request.mixed_spectrograms.shape[0] for request in pending]
+        if sum(counts) == 0:
+            # Every pending request is empty: nothing to stack, nothing to
+            # infer.  (np.concatenate over zero chunk starts would raise.)
+            for request in pending:
+                request.shadow_spectrograms = request.mixed_spectrograms[:0]
+            self.ticks += 1
+            self.batch_sizes.append(0)
+            return 0
         specs = np.concatenate([request.mixed_spectrograms for request in pending], axis=0)
         vectors = np.concatenate(
             [
@@ -336,7 +396,7 @@ class StreamBatch:
             axis=0,
         )
         starts = list(range(0, specs.shape[0], self.max_batch_segments))
-        if self.num_workers > 1 and len(starts) > 1:
+        if self.num_workers > 1 and len(starts) > 1 and not self._closed:
             # Chunks are independent rows, so fanning them out over worker
             # threads changes nothing but the wall clock: each chunk runs
             # exactly the pass it would have run serially (numpy releases the

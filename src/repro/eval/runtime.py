@@ -624,6 +624,75 @@ def _streaming_timing(config: NECConfig, repetitions: int, seed: int) -> KernelT
     )
 
 
+def _serving_timing(config: NECConfig, repetitions: int, seed: int) -> KernelTiming:
+    """End-to-end service pass vs direct per-stream streaming protectors.
+
+    ``reference`` protects four concurrent streams with a dedicated
+    immediate-mode :class:`~repro.core.pipeline.StreamingProtector` each;
+    ``fast`` routes the same chunks through a live
+    :class:`~repro.serving.service.ProtectionService` — memory-only registry,
+    background tick thread, shared coalescing batch — and collects per
+    session.  The equivalence flag asserts bit-identical shadow waves: the
+    whole serving layer (registry d-vector restore included) must be
+    bit-transparent on top of the stream engine.  The ratio mostly prices the
+    scheduling hop (condition variables, tick thread) against coalescing, so
+    on a single core it hovers near 1x — the gate is the equivalence, the
+    trend over PRs is what the trajectory is for.
+    """
+    from repro.audio.signal import AudioSignal
+    from repro.core.pipeline import NECSystem, StreamingProtector
+    from repro.serving.registry import EnrollmentRegistry
+    from repro.serving.service import ProtectionService
+
+    rng = np.random.default_rng(seed)
+    system = NECSystem(config, seed=seed)
+    system.enroll(
+        [AudioSignal(rng.normal(scale=0.1, size=config.segment_samples), config.sample_rate)]
+    )
+    registry = EnrollmentRegistry(None, config=config)
+    registry.register("tenant", system.embedding)
+    num_streams = 4
+    segment = config.segment_samples
+    stream_audio = [
+        rng.normal(scale=0.1, size=2 * segment) for _ in range(num_streams)
+    ]
+
+    def direct():
+        waves = []
+        for audio in stream_audio:
+            protector = StreamingProtector(system)
+            for start in range(0, audio.size, segment):
+                for result in protector.feed(audio[start : start + segment]):
+                    waves.append(result.shadow_wave.data)
+        return waves
+
+    def served():
+        waves_per_stream = [[] for _ in range(num_streams)]
+        with ProtectionService(
+            registry, system=system, num_workers=1, poll_interval_s=0.005
+        ) as service:
+            sessions = [service.open_session("tenant") for _ in range(num_streams)]
+            for start in range(0, 2 * segment, segment):
+                for index, session in enumerate(sessions):
+                    session.feed(stream_audio[index][start : start + segment])
+                for index, session in enumerate(sessions):
+                    while len(waves_per_stream[index]) < start // segment + 1:
+                        for result in session.collect(wait=True):
+                            waves_per_stream[index].append(result.shadow_wave.data)
+        return [wave for stream in waves_per_stream for wave in stream]
+
+    reference = direct()
+    fast = served()
+    equivalent = len(reference) == len(fast) and all(
+        np.array_equal(a, b) for a, b in zip(reference, fast)
+    )
+    reference_ms = _time_call_best(direct, repetitions)
+    fast_ms = _time_call_best(served, repetitions)
+    return KernelTiming(
+        "serving_e2e", reference_ms, fast_ms, equivalent, 0.0 if equivalent else float("inf")
+    )
+
+
 def _config_signature(config: NECConfig) -> str:
     """Benchmark-config key for trajectory entries: the timing-relevant geometry."""
     return (
@@ -646,8 +715,9 @@ def run_perf_trajectory(
     ``path`` or the ``BENCH_TRAJECTORY_JSON`` environment variable) is the
     repo's persistent perf record: one entry per PR/run, each holding the
     full kernel table — the four evaluation fast-path kernels plus the
-    precision (``float32_inference``), parallelism (``sharded_eval``) and
-    cross-stream coalescing (``streaming_coalesce``) kernels.  CI records an
+    precision (``float32_inference``), parallelism (``sharded_eval``),
+    cross-stream coalescing (``streaming_coalesce``) and end-to-end serving
+    (``serving_e2e``) kernels.  CI records an
     entry on every run, uploads the file, and fails if any kernel's
     ``equivalent`` flag is false.
 
@@ -666,6 +736,7 @@ def run_perf_trajectory(
     kernels = list(result.kernels) + [
         _float32_inference_timing(config, repetitions, seed),
         _streaming_timing(config, repetitions, seed),
+        _serving_timing(config, repetitions, seed),
     ]
     if (os.cpu_count() or 1) >= 4:
         kernels.append(_sharding_timing(config, repetitions, seed, num_workers=num_workers))

@@ -44,11 +44,27 @@ def load_state_dict(model: Module, state: Dict[str, np.ndarray]) -> None:
 
 
 def _assign_buffer(model: Module, dotted: str, value: np.ndarray) -> None:
+    """Walk ``a.b.0.c``-style buffer paths structurally and assign ``value``.
+
+    Name parts resolve by attribute lookup; digit parts index whatever the
+    previous part resolved to — a plain list/tuple of submodules (the common
+    case: ``Selector.dilated``-style containers) or any indexable ``Module``
+    (``Sequential``, or ModuleList-style containers whose state dicts use the
+    framework convention of indexing the container itself).  The attribute is
+    always resolved by name *before* indexing; nothing assumes the container
+    hides its children under a ``layers`` attribute.
+    """
     parts = dotted.split(".")
     target = model
     for part in parts[:-1]:
         if part.isdigit():
-            target = target[int(part)] if not isinstance(target, Module) else getattr(target, "layers")[int(part)]
+            try:
+                target = target[int(part)]
+            except TypeError:
+                raise KeyError(
+                    f"Buffer path '{dotted}' indexes '{part}' into a "
+                    f"non-indexable {type(target).__name__}"
+                ) from None
         else:
             target = getattr(target, part)
     setattr(target, parts[-1], np.array(value, copy=True))

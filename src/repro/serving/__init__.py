@@ -1,0 +1,47 @@
+"""Multi-tenant protection serving on top of the continuous-batching engine.
+
+The paper's system protects *live* conversations, which in production means
+many concurrent enrolled speakers streaming at once.  This package is the
+long-lived serving layer around the :class:`~repro.core.selector.StreamBatch`
+scheduler primitive:
+
+* :mod:`repro.serving.registry` — :class:`EnrollmentRegistry`: persistent
+  multi-tenant enrollment state (per-speaker d-vectors, Selector and encoder
+  checkpoints) via :mod:`repro.nn.serialization`; save → fresh-process load →
+  protect is bit-identical.
+* :mod:`repro.serving.session` — :class:`ProtectionSession`: one
+  (tenant, stream) with open/feed/flush/close lifecycle, wrapping a
+  :class:`~repro.core.pipeline.StreamingProtector` attached to the shared
+  batch, with per-session :class:`~repro.core.pipeline.StreamLatencyStats`.
+* :mod:`repro.serving.loop` — :class:`TickLoop`: the tick-driving event loop
+  (a stdlib thread) that coalesces pending segments across every session into
+  one Selector pass per tick and drains gracefully on shutdown.
+* :mod:`repro.serving.service` — :class:`ProtectionService`: the front door
+  tying registry, sessions and loop together.
+* :mod:`repro.serving.bench` — :func:`run_serving_analysis`: p50/p99 shadow
+  latency and aggregate throughput at 1/8/64 concurrent streams
+  (``BENCH_serving.json``).
+
+Coalescing never changes a number (every stacked row is bit-identical to a
+dedicated per-stream pass), so protection through the service equals direct
+:class:`~repro.core.pipeline.StreamingProtector` use bit for bit — the
+equivalence the benchmark and test-suite pin.
+"""
+
+from repro.serving.bench import ServingPoint, ServingResult, run_serving_analysis
+from repro.serving.loop import TickLoop
+from repro.serving.registry import EnrollmentRegistry
+from repro.serving.service import ProtectionService, ServiceStats
+from repro.serving.session import ProtectionSession, SessionState
+
+__all__ = [
+    "EnrollmentRegistry",
+    "ProtectionService",
+    "ProtectionSession",
+    "ServiceStats",
+    "ServingPoint",
+    "ServingResult",
+    "SessionState",
+    "TickLoop",
+    "run_serving_analysis",
+]

@@ -1,0 +1,305 @@
+"""Serving benchmark: shadow latency and throughput under concurrent streams.
+
+The streaming benchmark (:func:`repro.eval.runtime.run_streaming_rtf_analysis`)
+measures the *pipeline primitives*; this one measures the *service*: a
+registry-bootstrapped :class:`~repro.serving.service.ProtectionService` with a
+live tick thread, fed by 1 / 8 / 64 concurrent sessions, reporting the
+percentile shadow latency a client actually observes (feed of the completing
+chunk → shadow collected) and the aggregate throughput in audio-seconds per
+wall-second.
+
+Two correctness gates ride along and are emitted into
+``BENCH_serving.json`` for CI:
+
+- **serving-vs-direct equivalence** — every session's shadow waves must be
+  bit-identical to a dedicated immediate-mode
+  :class:`~repro.core.pipeline.StreamingProtector` fed the same chunks;
+- **registry round trip** — the service is built by saving the models to a
+  registry and loading them back in a *fresh* :class:`EnrollmentRegistry`,
+  while the direct reference runs on the original pre-save system, so the
+  same bit-equality also pins save → load → protect.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.audio.signal import AudioSignal
+from repro.core.config import NECConfig
+from repro.core.pipeline import NECSystem, StreamingProtector
+from repro.eval.reporting import format_table
+from repro.eval.runtime import STREAMING_LATENCY_BUDGET_MS
+from repro.serving.registry import EnrollmentRegistry
+from repro.serving.service import ProtectionService
+
+
+@dataclass
+class ServingPoint:
+    """One measured concurrency level of the serving benchmark."""
+
+    num_streams: int
+    num_tenants: int
+    segments_total: int
+    p50_latency_ms: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    throughput_audio_s_per_s: float     # total protected audio / wall-clock
+    rtf: float                          # wall-clock / total protected audio
+    mean_batch_size: float              # segments coalesced per non-empty tick
+    budget_violations: int              # per-feed budget misses across sessions
+    equivalent: bool                    # bit-identical to direct protectors
+
+    @property
+    def real_time(self) -> bool:
+        return self.rtf < 1.0
+
+
+@dataclass
+class ServingResult:
+    """The multi-tenant serving benchmark (``BENCH_serving.json``)."""
+
+    sample_rate: int
+    segment_samples: int
+    latency_budget_ms: float
+    num_workers: int
+    registry_round_trip: bool           # service ran on save->fresh-load weights
+    points: List[ServingPoint] = field(default_factory=list)
+
+    @property
+    def all_equivalent(self) -> bool:
+        return all(point.equivalent for point in self.points)
+
+    @property
+    def budget_violations(self) -> int:
+        return sum(point.budget_violations for point in self.points)
+
+    def point(self, num_streams: int) -> ServingPoint:
+        for point in self.points:
+            if point.num_streams == num_streams:
+                return point
+        raise KeyError(f"no serving point at {num_streams} streams")
+
+    def table(self) -> str:
+        rows = [
+            [
+                point.num_streams,
+                point.num_tenants,
+                f"{point.p50_latency_ms:.1f}",
+                f"{point.p99_latency_ms:.1f}",
+                f"{point.max_latency_ms:.1f}",
+                f"{point.throughput_audio_s_per_s:.2f}",
+                f"{point.rtf:.3f}",
+                f"{point.mean_batch_size:.1f}",
+                point.budget_violations,
+                str(point.equivalent),
+            ]
+            for point in self.points
+        ]
+        return format_table(
+            [
+                "streams",
+                "tenants",
+                "p50 (ms)",
+                "p99 (ms)",
+                "max (ms)",
+                "audio s/s",
+                "RTF",
+                "batch",
+                "over budget",
+                "exact",
+            ],
+            rows,
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready payload for the ``BENCH_serving.json`` perf artifact."""
+        return {
+            "benchmark": "serving",
+            "sample_rate": self.sample_rate,
+            "segment_samples": self.segment_samples,
+            "latency_budget_ms": self.latency_budget_ms,
+            "num_workers": self.num_workers,
+            "registry_round_trip": self.registry_round_trip,
+            "all_equivalent": self.all_equivalent,
+            "budget_violations": self.budget_violations,
+            "points": [
+                {
+                    "num_streams": point.num_streams,
+                    "num_tenants": point.num_tenants,
+                    "segments_total": point.segments_total,
+                    "p50_latency_ms": point.p50_latency_ms,
+                    "p99_latency_ms": point.p99_latency_ms,
+                    "mean_latency_ms": point.mean_latency_ms,
+                    "max_latency_ms": point.max_latency_ms,
+                    "throughput_audio_s_per_s": point.throughput_audio_s_per_s,
+                    "rtf": point.rtf,
+                    "mean_batch_size": point.mean_batch_size,
+                    "budget_violations": point.budget_violations,
+                    "equivalent": point.equivalent,
+                }
+                for point in self.points
+            ],
+        }
+
+
+def run_serving_analysis(
+    config: Optional[NECConfig] = None,
+    stream_counts: tuple = (1, 8, 64),
+    segments_per_stream: int = 2,
+    num_tenants: int = 4,
+    latency_budget_ms: float = STREAMING_LATENCY_BUDGET_MS,
+    seed: int = 0,
+    num_workers: Optional[int] = None,
+    registry_root: Optional[str] = None,
+) -> ServingResult:
+    """Measure the protection service end to end at several concurrency levels.
+
+    Setup (once): a system is built and ``num_tenants`` speakers are enrolled
+    into a *persistent* registry (``registry_root`` or a temporary directory);
+    the Selector and encoder are checkpointed; then a **fresh** registry and
+    service are constructed purely from disk.  All measurements therefore run
+    on round-tripped weights and d-vectors — the reference pass below proves
+    they did not drift by a bit.
+
+    Per ``stream_counts`` level N: N sessions (tenants round-robin) each feed
+    ``segments_per_stream`` one-segment chunks through the live service —
+    tick thread running, sessions collecting as results complete.  Each
+    segment's **shadow latency** is the wall-clock from the feed that
+    completed it to its result being collected; the point reports
+    p50/p99/mean/max over all N × ``segments_per_stream`` segments plus the
+    aggregate throughput.  A second, service-free pass feeds the same chunks
+    to one immediate-mode :class:`StreamingProtector` per stream built on the
+    original pre-save system; ``equivalent`` asserts bit-identical shadows.
+    """
+    config = (config or NECConfig.default()).validate()
+    rng = np.random.default_rng(seed)
+    segment = config.segment_samples
+    workers = num_workers if num_workers is not None else min(os.cpu_count() or 1, 4)
+
+    system = NECSystem(config, seed=seed)
+    tenant_ids = [f"tenant{index:02d}" for index in range(max(num_tenants, 1))]
+    references = {
+        tenant_id: [
+            AudioSignal(
+                rng.normal(scale=0.1, size=segment), config.sample_rate
+            )
+        ]
+        for tenant_id in tenant_ids
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = registry_root if registry_root is not None else os.path.join(tmp, "registry")
+        bootstrap = EnrollmentRegistry(root, config=config)
+        bootstrap.save_models(system)
+        for tenant_id in tenant_ids:
+            bootstrap.enroll(tenant_id, references[tenant_id], system.encoder)
+        # Everything below runs on a cold-start reload: fresh registry object,
+        # weights and d-vectors read back from disk.
+        registry = EnrollmentRegistry(root)
+        round_trip = registry.models_saved and registry.tenants() == sorted(tenant_ids)
+
+        max_streams = max(stream_counts)
+        stream_tenants = [tenant_ids[index % len(tenant_ids)] for index in range(max_streams)]
+        stream_audio = [
+            rng.normal(scale=0.1, size=segments_per_stream * segment)
+            for _ in range(max_streams)
+        ]
+
+        points: List[ServingPoint] = []
+        for count in stream_counts:
+            # -- direct reference: one immediate protector per stream, on the
+            # pre-save system with the registry's (round-tripped) d-vector.
+            reference_waves: List[List[np.ndarray]] = []
+            for index in range(count):
+                direct_system = NECSystem(
+                    config, encoder=system.encoder, selector=system.selector
+                )
+                direct_system.set_embedding(
+                    bootstrap.embedding(stream_tenants[index])
+                )
+                protector = StreamingProtector(direct_system)
+                waves: List[np.ndarray] = []
+                for round_index in range(segments_per_stream):
+                    start = round_index * segment
+                    for result in protector.feed(
+                        stream_audio[index][start : start + segment]
+                    ):
+                        waves.append(result.shadow_wave.data)
+                reference_waves.append(waves)
+
+            # -- the service pass: live tick thread, per-segment latency.
+            latencies_ms: List[float] = []
+            service_waves: List[List[np.ndarray]] = [[] for _ in range(count)]
+            budget_violations = 0
+            with ProtectionService(
+                registry,
+                max_batch_segments=max(1, -(-count // workers)) if workers > 1 else 16,
+                num_workers=workers,
+                latency_budget_ms=latency_budget_ms,
+            ) as service:
+                sessions = [
+                    service.open_session(stream_tenants[index])
+                    for index in range(count)
+                ]
+                started = time.perf_counter()
+                for round_index in range(segments_per_stream):
+                    start = round_index * segment
+                    fed_at: List[float] = []
+                    for index, session in enumerate(sessions):
+                        fed_at.append(time.perf_counter())
+                        session.feed(stream_audio[index][start : start + segment])
+                    for index, session in enumerate(sessions):
+                        while len(service_waves[index]) < round_index + 1:
+                            for result in session.collect(wait=True):
+                                service_waves[index].append(result.shadow_wave.data)
+                                latencies_ms.append(
+                                    1000.0 * (time.perf_counter() - fed_at[index])
+                                )
+                elapsed = time.perf_counter() - started
+                for session in sessions:
+                    budget_violations += session.latency.budget_violations
+                    session.close()
+
+            equivalent = all(
+                len(service_waves[index]) == len(reference_waves[index])
+                and all(
+                    np.array_equal(a, b)
+                    for a, b in zip(service_waves[index], reference_waves[index])
+                )
+                for index in range(count)
+            )
+            total_segments = count * segments_per_stream
+            audio_seconds = total_segments * segment / config.sample_rate
+            latencies = np.asarray(latencies_ms)
+            points.append(
+                ServingPoint(
+                    num_streams=count,
+                    num_tenants=min(count, len(tenant_ids)),
+                    segments_total=total_segments,
+                    p50_latency_ms=float(np.percentile(latencies, 50)),
+                    p99_latency_ms=float(np.percentile(latencies, 99)),
+                    mean_latency_ms=float(latencies.mean()),
+                    max_latency_ms=float(latencies.max()),
+                    throughput_audio_s_per_s=audio_seconds / elapsed if elapsed > 0 else float("inf"),
+                    rtf=elapsed / audio_seconds if audio_seconds > 0 else float("inf"),
+                    mean_batch_size=service.stats.mean_batch_size,
+                    budget_violations=budget_violations,
+                    equivalent=equivalent,
+                )
+            )
+
+    return ServingResult(
+        sample_rate=config.sample_rate,
+        segment_samples=segment,
+        latency_budget_ms=latency_budget_ms,
+        num_workers=workers,
+        registry_round_trip=bool(round_trip),
+        points=points,
+    )

@@ -1,0 +1,194 @@
+"""One protected stream: the (tenant, stream) unit of the serving layer.
+
+A :class:`ProtectionSession` is what a connected client holds: a
+:class:`~repro.core.pipeline.StreamingProtector` attached to the service's
+shared :class:`~repro.core.selector.StreamBatch`, configured with the
+tenant's enrolled d-vector.  The session's job is lifecycle — ``feed`` while
+open, ``flush`` the partial tail, drain outstanding inference on ``close`` —
+plus the per-session latency ledger
+(:class:`~repro.core.pipeline.StreamLatencyStats`) the benchmark aggregates.
+
+Sessions never run inference themselves: feeding only buffers samples and
+submits completed segments to the shared batch; the service's
+:class:`~repro.serving.loop.TickLoop` runs the coalesced Selector pass and
+the session picks results up with :meth:`collect`.  Because the batch's
+per-row bit-identity contract holds regardless of which sessions share a
+tick, the shadow waves a session collects are bit-identical to a dedicated
+:class:`~repro.core.pipeline.StreamingProtector` fed the same chunks.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from typing import TYPE_CHECKING, List, Optional, Union
+
+import numpy as np
+
+from repro.audio.signal import AudioSignal
+from repro.core.pipeline import (
+    NECSystem,
+    ProtectionResult,
+    StreamingProtector,
+    StreamLatencyStats,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service owns sessions)
+    from repro.serving.service import ProtectionService
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a session: open → draining → closed."""
+
+    OPEN = "open"
+    DRAINING = "draining"
+    CLOSED = "closed"
+
+
+_STREAM_COUNTER = itertools.count()
+
+
+class ProtectionSession:
+    """One (tenant, stream) attached to the shared serving batch.
+
+    Constructed by :meth:`ProtectionService.open_session`, not directly.
+    Typical client loop::
+
+        with service.open_session("alice") as session:
+            for chunk in microphone:
+                session.feed(chunk)
+                for result in session.collect():
+                    speaker.broadcast(result.shadow_wave)
+        # close() flushed the tail and drained remaining results into
+        # session.results_pending_close — or use close(drain=True) explicitly.
+    """
+
+    def __init__(
+        self,
+        service: "ProtectionService",
+        tenant_id: str,
+        system: NECSystem,
+        stream_id: Optional[str] = None,
+        latency_budget_ms: Optional[float] = None,
+    ) -> None:
+        self.service = service
+        self.tenant_id = tenant_id
+        self.stream_id = (
+            stream_id if stream_id is not None else f"{tenant_id}/{next(_STREAM_COUNTER)}"
+        )
+        self.protector = StreamingProtector(
+            system,
+            stream_batch=service.batch,
+            latency_budget_ms=latency_budget_ms,
+        )
+        self.state = SessionState.OPEN
+        self.segments_collected = 0
+        #: Results drained by :meth:`close`; clients that close before
+        #: collecting everything find the remainder here, in stream order.
+        self.drained_results: List[ProtectionResult] = []
+
+    # -- state -------------------------------------------------------------
+    @property
+    def latency(self) -> StreamLatencyStats:
+        """Per-session samples-in → shadow-out accounting."""
+        return self.protector.latency
+
+    @property
+    def pending_results(self) -> int:
+        """Completed segments whose shadow has not been collected yet."""
+        return self.protector.pending_inference_segments
+
+    @property
+    def samples_fed(self) -> int:
+        return self.protector.samples_fed
+
+    # -- lifecycle ---------------------------------------------------------
+    def feed(self, chunk: Union[AudioSignal, np.ndarray]) -> None:
+        """Buffer a chunk; completed segments join the next coalesced tick.
+
+        Never returns results (deferred mode always returns ``[]``); pick
+        them up with :meth:`collect`.  Raises once the session left the OPEN
+        state — a drained/closed stream accepts no more audio.
+        """
+        if self.state is not SessionState.OPEN:
+            raise RuntimeError(
+                f"session {self.stream_id} is {self.state.value}; cannot feed"
+            )
+        self.protector.feed(chunk)
+        if self.protector.pending_inference_segments:
+            self.service.loop.wake()
+
+    def collect(
+        self, wait: bool = False, timeout: Optional[float] = None
+    ) -> List[ProtectionResult]:
+        """Finished results in stream order (possibly empty).
+
+        With ``wait=True`` blocks — re-checking after every tick — until at
+        least one result is ready, every fed segment has been collected, or
+        ``timeout`` elapses.
+        """
+        if wait and self.protector.pending_inference_segments:
+            self.service.loop.wait_for(
+                lambda: self.protector.next_result_ready
+                or not self.protector.pending_inference_segments,
+                timeout=timeout,
+            )
+        results = self.protector.collect()
+        self.segments_collected += len(results)
+        return results
+
+    def flush(self) -> None:
+        """Queue the buffered partial segment (zero-padded, trimmed on emit)."""
+        if self.state is SessionState.CLOSED:
+            raise RuntimeError(f"session {self.stream_id} is closed; cannot flush")
+        self.protector.flush()
+        if self.protector.pending_inference_segments:
+            self.service.loop.wake()
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> List[ProtectionResult]:
+        """Flush the tail, drain outstanding inference, detach from the service.
+
+        Returns the results collected while draining (also kept in
+        :attr:`drained_results`).  With ``drain=False`` un-ticked segments are
+        abandoned — only correct when the whole service is being torn down.
+        Idempotent: closing a closed session returns ``[]``.
+        """
+        if self.state is SessionState.CLOSED:
+            return []
+        if self.state is SessionState.OPEN:
+            self.protector.flush()
+            self.state = SessionState.DRAINING
+        drained: List[ProtectionResult] = []
+        if drain and self.protector.pending_inference_segments:
+            self.service.loop.wake()
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self.protector.pending_inference_segments:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"session {self.stream_id} did not drain within the timeout"
+                    )
+                ticked = self.service.loop.wait_for(
+                    lambda: self.protector.next_result_ready, timeout=remaining
+                )
+                collected = self.protector.collect()
+                drained.extend(collected)
+                if not ticked and not collected and not self.service.loop.running:
+                    # The loop stopped without draining this session's
+                    # segments (shutdown(drain=False)); nothing will tick them.
+                    break
+        else:
+            drained.extend(self.protector.collect())
+        self.segments_collected += len(drained)
+        self.drained_results.extend(drained)
+        self.state = SessionState.CLOSED
+        self.service._session_closed(self)
+        return drained
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "ProtectionSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close(drain=exc_type is None)

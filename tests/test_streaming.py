@@ -11,6 +11,7 @@ counterparts at both a hop-divides-window geometry (the reduced test config)
 and the paper's non-dividing 400/160 geometry.
 """
 
+import threading
 import time
 
 import numpy as np
@@ -329,6 +330,73 @@ class TestStreamBatch:
         assert batch.tick() == 0
         assert batch.ticks == 1
         assert batch.batch_sizes == [0]
+
+    def test_tick_with_only_zero_segment_submissions(self, system, tiny_config):
+        """Regression: all-empty pending requests used to crash the tick.
+
+        An idle stream heartbeating the scheduler submits ``(0, F, T)`` —
+        nothing to stack, so ``np.concatenate`` over zero chunks raised
+        ``ValueError`` and the serving tick thread died.  The tick must be a
+        clean no-op that still marks the empty requests done.
+        """
+        frequency_bins, frames = tiny_config.spectrogram_shape
+        batch = StreamBatch(system.selector)
+        requests = [
+            batch.submit(np.empty((0, frequency_bins, frames)), system.embedding)
+            for _ in range(2)
+        ]
+        assert batch.tick() == 0
+        for request in requests:
+            assert request.done
+            assert request.shadow_spectrograms.shape == (0, frequency_bins, frames)
+        assert batch.batch_sizes[-1] == 0
+
+    def test_tick_mixing_empty_and_real_submissions(self, system, tiny_config):
+        segment = tiny_config.segment_samples
+        frequency_bins, frames = tiny_config.spectrogram_shape
+        batch = StreamBatch(system.selector)
+        empty = batch.submit(np.empty((0, frequency_bins, frames)), system.embedding)
+        spectrogram = np.abs(
+            stft(
+                _noise(segment, seed=60),
+                tiny_config.n_fft,
+                tiny_config.win_length,
+                tiny_config.hop_length,
+            )
+        )[None, :, :]
+        real = batch.submit(spectrogram, system.embedding)
+        assert batch.tick() == 1
+        assert empty.done and empty.shadow_spectrograms.shape[0] == 0
+        assert real.done and real.shadow_spectrograms.shape == spectrogram.shape
+
+    def test_close_reclaims_worker_threads(self, system, tiny_config):
+        """Regression: the tick fan-out pool leaked its threads for the
+        lifetime of the process; ``close()`` must shut it down."""
+        segment = tiny_config.segment_samples
+        before = threading.active_count()
+        with StreamBatch(system.selector, max_batch_segments=1, num_workers=2) as batch:
+            for index in range(4):
+                spectrogram = np.abs(
+                    stft(
+                        _noise(segment, seed=70 + index),
+                        tiny_config.n_fft,
+                        tiny_config.win_length,
+                        tiny_config.hop_length,
+                    )
+                )[None, :, :]
+                batch.submit(spectrogram, system.embedding)
+            batch.tick()
+            assert threading.active_count() > before  # pool spun up
+        assert threading.active_count() == before  # ...and reclaimed
+        assert batch.closed
+
+    def test_submit_after_close_raises(self, system, tiny_config):
+        frequency_bins, frames = tiny_config.spectrogram_shape
+        batch = StreamBatch(system.selector)
+        batch.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batch.submit(np.zeros((1, frequency_bins, frames)), system.embedding)
+        batch.close()  # idempotent
 
     def test_submit_rejects_bad_shapes(self, system, tiny_config):
         batch = StreamBatch(system.selector)
