@@ -1,0 +1,81 @@
+"""Scenario-matrix robustness grid: the full 144-cell benchmark run.
+
+Expands the complete room x motion x crowd x angle x carrier x adversary
+matrix through one :func:`repro.eval.scenarios.run_scenario_grid` invocation
+(batched protections + sharded cells), gates the paper-setup cells at
+paper-level suppression, pins the grid bit-identical across worker counts,
+and writes the per-cell claim verdicts to ``BENCH_scenarios.json`` — uploaded
+by CI (override the path with ``BENCH_SCENARIOS_JSON``).
+
+The paper's own numbers for the direct path (Fig. 11: the protected target's
+SDR falls 0.997 -> -4.918, a ~5.9 dB drop; Table IV calls a recorder
+"affected" at a 3 dB SONR margin) set the gates: every paper-setup cell must
+hold with at least the Table IV margin on SONR and at least
+``MIN_PAPER_SDR_DROP_DB`` of SDR suppression.
+"""
+
+import json
+import os
+
+from repro.eval.scenarios import ScenarioGrid, run_scenario_grid
+
+_DEFAULT_ARTIFACT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_scenarios.json"
+)
+
+#: Paper-level suppression floor for the direct-path cells (Fig. 11 measures
+#: ~5.9 dB on the full geometry; the reduced benchmark geometry must clear
+#: a conservative 3 dB).
+MIN_PAPER_SDR_DROP_DB = 3.0
+
+
+def test_full_scenario_grid(benchmark, bench_context):
+    grid = ScenarioGrid.full()
+    assert grid.num_cells >= 100  # acceptance: a genuinely full matrix
+
+    result = benchmark.pedantic(
+        lambda: run_scenario_grid(bench_context, grid, wer_mode="direct", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\n[Scenario grid] {result.num_holds}/{result.num_cells} cells hold the claim")
+    print(result.breakage_table())
+
+    assert result.num_cells == grid.num_cells
+    assert [r.cell for r in result.cells] == grid.cells()
+
+    # The paper's setup (direct path, matched carrier, passive eavesdropper)
+    # must hold at paper-level suppression for every crowd size.
+    paper_cells = result.paper_setup_cells()
+    assert paper_cells, "the full grid must include the paper's own scenario"
+    assert result.paper_setup_holds()
+    for cell_result in paper_cells:
+        assert cell_result.sonr_gain_db >= result.thresholds.min_sonr_gain_db
+        assert cell_result.target_sdr_drop_db >= MIN_PAPER_SDR_DROP_DB
+        # WER was computed for direct-path cells: protection never improves it.
+        assert cell_result.wer_on is not None
+        assert cell_result.wer_on >= cell_result.wer_off - 1e-9
+
+    # Post-hoc adversaries cannot strip the protection from a direct-path
+    # recording: with the matched carrier, every direct-path cell holds.
+    direct = [r for r in result.cells if r.cell.is_direct_path and r.cell.carrier_khz is None]
+    assert direct and all(r.holds for r in direct)
+
+    path = result.write_json(os.environ.get("BENCH_SCENARIOS_JSON", _DEFAULT_ARTIFACT))
+    payload = json.loads(path.read_text())
+    assert payload["summary"]["paper_setup_holds"] is True
+    assert payload["summary"]["num_cells"] == grid.num_cells
+    print(f"[Scenario grid] verdicts written to {path}")
+
+
+def test_grid_bit_identical_across_worker_counts(bench_context):
+    """The acceptance pin: one grid, any worker count, identical bits."""
+    grid = ScenarioGrid.smoke()
+    results = {
+        workers: run_scenario_grid(bench_context, grid, num_workers=workers, seed=0)
+        for workers in (1, 2, 4)
+    }
+    baseline = [r.to_dict() for r in results[1].cells]
+    for workers in (2, 4):
+        assert [r.to_dict() for r in results[workers].cells] == baseline

@@ -16,7 +16,11 @@ so this package models the physics explicitly:
 * :mod:`repro.channel.devices` — per-smartphone hardware profiles matching
   Table III of the paper;
 * :mod:`repro.channel.recorder` — a recorder that combines the above to
-  capture a scene of audible and ultrasonic sources.
+  capture a scene of audible and ultrasonic sources;
+* :mod:`repro.channel.rir` — synthetic room impulse responses (exponential
+  tail or image-source shoebox) for the scenario grid's room axis;
+* :mod:`repro.channel.motion` — time-varying-delay propagation for a moving
+  protected speaker, with carrier Doppler emerging from the delay.
 """
 
 from repro.channel.ultrasound import (
@@ -30,6 +34,7 @@ from repro.channel.propagation import (
     propagation_delay,
     distance_attenuation,
     air_absorption_filter,
+    directivity_gain,
     propagate,
     spl_at_distance,
     amplitude_for_spl,
@@ -37,6 +42,22 @@ from repro.channel.propagation import (
 from repro.channel.microphone import MicrophoneModel, Nonlinearity
 from repro.channel.devices import DeviceProfile, DEVICE_TABLE, get_device, device_names
 from repro.channel.recorder import Recorder, SceneSource
+from repro.channel.rir import (
+    ROOM_TABLE,
+    RoomModel,
+    apply_rir,
+    get_room,
+    propagate_in_room,
+    room_names,
+)
+from repro.channel.motion import (
+    MOTION_TABLE,
+    LinearMotion,
+    doppler_shift_hz,
+    get_motion,
+    motion_names,
+    propagate_moving,
+)
 
 __all__ = [
     "ULTRASOUND_RATE",
@@ -58,4 +79,17 @@ __all__ = [
     "device_names",
     "Recorder",
     "SceneSource",
+    "directivity_gain",
+    "ROOM_TABLE",
+    "RoomModel",
+    "apply_rir",
+    "get_room",
+    "propagate_in_room",
+    "room_names",
+    "MOTION_TABLE",
+    "LinearMotion",
+    "doppler_shift_hz",
+    "get_motion",
+    "motion_names",
+    "propagate_moving",
 ]

@@ -58,6 +58,13 @@ def amplitude_for_spl(spl_db: float, full_scale_spl_db: float = 94.0) -> float:
     return float(10.0 ** ((spl_db - full_scale_spl_db) / 20.0))
 
 
+#: Below this distance air absorption is negligible and the signal passes
+#: through unfiltered; the filter fades in continuously over the blend band
+#: above it so distance sweeps never show a step at the threshold.
+ABSORPTION_ONSET_M = 0.1
+ABSORPTION_BLEND_M = 0.2
+
+
 def air_absorption_filter(
     signal: np.ndarray, sample_rate: int, distance_m: float
 ) -> np.ndarray:
@@ -66,12 +73,46 @@ def air_absorption_filter(
     High frequencies are absorbed more strongly with distance; the cutoff
     shrinks with distance but never falls below 2 kHz so speech remains
     intelligible at the paper's evaluation distances (<= 5 m).
+
+    The filter fades in linearly over ``(ABSORPTION_ONSET_M,
+    ABSORPTION_ONSET_M + ABSORPTION_BLEND_M)``: just above the onset the
+    output is almost exactly the unfiltered signal, reaching the full
+    order-2 low-pass at the end of the blend band.  (The seed implementation
+    switched the full filter on discontinuously at 0.1 m, which put a step
+    artifact into any fine-grained distance sweep across the threshold.)
     """
-    if distance_m <= 0.1:
-        return np.asarray(signal, dtype=np.float64).copy()
+    signal = np.asarray(signal, dtype=np.float64)
+    if distance_m <= ABSORPTION_ONSET_M:
+        return signal.copy()
     cutoff = max(sample_rate / 2.0 * np.exp(-0.02 * distance_m), 2000.0)
     cutoff = min(cutoff, sample_rate / 2.0 * 0.98)
-    return lowpass_filter(signal, cutoff, sample_rate, order=2)
+    filtered = lowpass_filter(signal, cutoff, sample_rate, order=2)
+    weight = min((distance_m - ABSORPTION_ONSET_M) / ABSORPTION_BLEND_M, 1.0)
+    if weight >= 1.0:
+        return filtered
+    return (1.0 - weight) * signal + weight * filtered
+
+
+def directivity_gain(angle_deg: float, ultrasound: bool = False) -> float:
+    """Amplitude gain of a source towards a recorder ``angle_deg`` off axis.
+
+    The scenario grid's recorder-angle axis: 0 degrees is the paper's setup
+    (the recorder straight ahead of the protected speaker and the co-located
+    NEC transmitter).  Audible speech is only mildly directional — roughly a
+    ``0.7 + 0.3 cos(theta)`` pattern at speech frequencies — while the
+    ultrasonic transducer is a narrow beam (the paper's Vifa speaker):
+    modelled as ``cos(theta)^4`` with a -26 dB side-lobe floor.  The gap
+    between the two patterns is what breaks protection off axis: an off-axis
+    recorder still hears Bob but barely receives the carrier.
+
+    At 0 degrees both gains are exactly 1.0, so on-axis scenes are
+    bit-identical to geometry that never mentions an angle.
+    """
+    theta = np.deg2rad(abs(float(angle_deg)))
+    if ultrasound:
+        beam = np.cos(theta) ** 4 if abs(theta) < np.pi / 2.0 else 0.0
+        return float(max(beam, 0.05))
+    return float(0.7 + 0.3 * np.cos(theta))
 
 
 def propagate(

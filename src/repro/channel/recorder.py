@@ -10,7 +10,9 @@ import numpy as np
 from repro.audio.signal import AudioSignal
 from repro.audio.mixing import mix_signals
 from repro.channel.devices import DeviceProfile, get_device
-from repro.channel.propagation import propagate
+from repro.channel.motion import LinearMotion, propagate_moving
+from repro.channel.propagation import directivity_gain, propagate
+from repro.channel.rir import RoomModel, apply_rir
 from repro.channel.ultrasound import ULTRASOUND_RATE
 
 
@@ -22,6 +24,13 @@ class SceneSource:
     NEC broadcasts (already AM-modulated, at the ultrasound simulation rate);
     everything else is ordinary audible sound.  ``extra_delay_s`` adds system
     processing latency on top of the propagation delay (the paper's t_p).
+
+    The scenario-matrix axes attach here: ``motion`` replaces the fixed
+    ``distance_m`` with a time-varying trajectory (``distance_m`` then only
+    documents the starting point), and ``angle_deg`` applies the source's
+    directivity towards an off-axis recorder (ultrasonic beams are much
+    narrower than speech — see
+    :func:`repro.channel.propagation.directivity_gain`).
     """
 
     signal: AudioSignal
@@ -30,6 +39,8 @@ class SceneSource:
     carrier_khz: Optional[float] = None
     extra_delay_s: float = 0.0
     label: str = ""
+    motion: Optional[LinearMotion] = None
+    angle_deg: float = 0.0
 
 
 class Recorder:
@@ -44,25 +55,59 @@ class Recorder:
         self.microphone = self.device.microphone()
         self._rng = np.random.default_rng(seed)
 
-    def record_scene(self, sources: Sequence[SceneSource]) -> AudioSignal:
+    def record_scene(
+        self,
+        sources: Sequence[SceneSource],
+        room: Optional[RoomModel] = None,
+    ) -> AudioSignal:
         """Record all sources after propagating each to the recorder position.
 
         Audible sources are propagated and mixed in the audible band;
         ultrasonic sources are propagated at the ultrasound rate, scaled by the
         device's carrier response, and demodulated by the microphone's
         non-linearity inside :meth:`MicrophoneModel.record`.
+
+        ``room`` convolves every propagated source with the room's impulse
+        response (reduced tail gain for ultrasonic sources); per-source
+        ``motion`` and ``angle_deg`` switch in the moving-source propagator
+        and the directivity pattern.  All three default to the paper's setup
+        (direct path, static, on-axis), in which case the scene is
+        bit-identical to one that never mentions them.
         """
         if not sources:
             raise ValueError("record_scene needs at least one source")
         audible_parts: List[AudioSignal] = []
         ultrasonic_parts: List[AudioSignal] = []
         for source in sources:
-            propagated = propagate(
-                source.signal,
-                source.distance_m,
-                include_absorption=not source.is_ultrasound,
-                extra_delay_s=source.extra_delay_s,
-            )
+            if source.motion is not None and not source.motion.is_static:
+                propagated = propagate_moving(
+                    source.signal,
+                    source.motion,
+                    include_absorption=not source.is_ultrasound,
+                    extra_delay_s=source.extra_delay_s,
+                )
+            else:
+                distance = (
+                    source.motion.start_m if source.motion is not None else source.distance_m
+                )
+                propagated = propagate(
+                    source.signal,
+                    distance,
+                    include_absorption=not source.is_ultrasound,
+                    extra_delay_s=source.extra_delay_s,
+                )
+            if source.angle_deg != 0.0:
+                propagated = propagated.scale(
+                    directivity_gain(source.angle_deg, ultrasound=source.is_ultrasound)
+                )
+            if room is not None and not room.is_anechoic:
+                propagated = apply_rir(
+                    propagated,
+                    room.impulse_response(
+                        propagated.sample_rate,
+                        tail_gain=room.ultrasound_tail_gain if source.is_ultrasound else 1.0,
+                    ),
+                )
             if source.is_ultrasound:
                 carrier_khz = source.carrier_khz
                 if carrier_khz is None:

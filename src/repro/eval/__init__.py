@@ -42,6 +42,23 @@ from repro.eval.runtime import (
 from repro.eval.device_study import run_device_study, DeviceStudyResult
 from repro.eval.multi_recorder import run_multi_recorder_study, MultiRecorderResult
 from repro.eval.ablation import run_output_mode_ablation, run_dilation_ablation
+from repro.eval.adversary import (
+    ADVERSARY_TABLE,
+    Adversary,
+    NotchFilterAdversary,
+    RerecordAdversary,
+    adversary_names,
+    get_adversary,
+)
+from repro.eval.scenarios import (
+    CellResult,
+    ClaimThresholds,
+    ScenarioCell,
+    ScenarioGrid,
+    ScenarioGridResult,
+    run_scenario_grid,
+    run_scenario_grid_looped,
+)
 
 __all__ = [
     "ExperimentContext",
@@ -83,4 +100,17 @@ __all__ = [
     "MultiRecorderResult",
     "run_output_mode_ablation",
     "run_dilation_ablation",
+    "ADVERSARY_TABLE",
+    "Adversary",
+    "NotchFilterAdversary",
+    "RerecordAdversary",
+    "adversary_names",
+    "get_adversary",
+    "CellResult",
+    "ClaimThresholds",
+    "ScenarioCell",
+    "ScenarioGrid",
+    "ScenarioGridResult",
+    "run_scenario_grid",
+    "run_scenario_grid_looped",
 ]

@@ -1,0 +1,120 @@
+"""Adaptive adversaries: post-hoc attacks on a protected recording.
+
+The paper's threat model assumes a passive eavesdropper; the scenario matrix
+(:mod:`repro.eval.scenarios`) also asks what an *adaptive* adversary — one who
+knows NEC exists — can recover from a recording after the fact.  Two classic
+counter-measures are modelled:
+
+* ``notch`` — the adversary band-stops the frequency band where the shadow
+  sound carries most of its energy.  The shadow is crafted to overlap Bob's
+  formants, so the notch removes Bob's own speech cues along with the shadow;
+  the interesting question the grid answers is whether the *relative* balance
+  shifts back towards Bob.
+* ``rerecord`` — the adversary plays the recording back over a loudspeaker
+  and re-records it with a second phone.  The shadow is an audible-band
+  signal after demodulation, so a second acoustic hop attenuates speech and
+  shadow together and cannot strip the protection.
+
+Every adversary is a pure, seedable transform ``recording -> recording`` so
+the scenario grid stays bit-stable under :func:`repro.eval.common.run_sharded`
+for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy import signal as sps
+
+from repro.audio.signal import AudioSignal
+from repro.dsp.filters import butter_sos
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """Base adversary: the passive eavesdropper (no post-processing)."""
+
+    name: str = "none"
+
+    def apply(self, recording: AudioSignal, seed: int = 0) -> AudioSignal:
+        """Return the adversary's processed view of a recording.
+
+        Must be a pure function of ``(recording, seed)`` — the scenario grid
+        runs adversaries inside sharded workers and pins bit-identical results
+        across worker counts.
+        """
+        return recording
+
+
+@dataclass(frozen=True)
+class NotchFilterAdversary(Adversary):
+    """Band-stop the band where the demodulated shadow concentrates energy.
+
+    The defaults cover the speech-formant band the Selector predominantly
+    shadows (roughly F1/F2 territory).  A zero-phase Butterworth band-stop
+    keeps the attack deterministic and artefact-free.
+    """
+
+    name: str = "notch"
+    low_hz: float = 900.0
+    high_hz: float = 3400.0
+    order: int = 4
+
+    def apply(self, recording: AudioSignal, seed: int = 0) -> AudioSignal:
+        nyquist = recording.sample_rate / 2.0
+        high_hz = min(self.high_hz, nyquist * 0.95)
+        if not 0 < self.low_hz < high_hz:
+            return recording
+        sos = butter_sos(self.order, (self.low_hz, high_hz), recording.sample_rate, "bandstop")
+        filtered = sps.sosfiltfilt(sos, np.asarray(recording.data, dtype=np.float64))
+        result = AudioSignal(filtered, recording.sample_rate)
+        result.reference_spl = recording.reference_spl
+        return result
+
+
+@dataclass(frozen=True)
+class RerecordAdversary(Adversary):
+    """Play the recording back and capture it with a second device.
+
+    The playback loudspeaker is modelled as a flat audible source; the second
+    hop goes through the full channel (propagation, absorption, microphone
+    front-end of ``device``).  ``seed`` drives the second microphone's noise
+    via the grid's :func:`repro.eval.common.derive_seed` stream.
+    """
+
+    name: str = "rerecord"
+    device: str = "Galaxy S9"
+    distance_m: float = 0.3
+
+    def apply(self, recording: AudioSignal, seed: int = 0) -> AudioSignal:
+        # Imported here to avoid a channel<->eval import cycle at module load.
+        from repro.channel.recorder import Recorder, SceneSource
+
+        recorder = Recorder(self.device, seed=seed)
+        return recorder.record_scene([SceneSource(recording, self.distance_m, label="replay")])
+
+
+#: The scenario grid's adversary axis.  ``none`` is the paper's threat model.
+ADVERSARY_TABLE: Dict[str, Adversary] = {
+    "none": Adversary(),
+    "notch": NotchFilterAdversary(),
+    "rerecord": RerecordAdversary(),
+}
+
+
+def get_adversary(adversary: "Adversary | str") -> Adversary:
+    """Look up an adversary by name (or pass an :class:`Adversary` through)."""
+    if isinstance(adversary, Adversary):
+        return adversary
+    try:
+        return ADVERSARY_TABLE[adversary]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown adversary '{adversary}'; choose from {sorted(ADVERSARY_TABLE)}"
+        ) from exc
+
+
+def adversary_names() -> Tuple[str, ...]:
+    return tuple(sorted(ADVERSARY_TABLE))

@@ -8,10 +8,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.audio.mixing import joint_conversation
-from repro.channel.recorder import Recorder
+from repro.channel.recorder import Recorder, SceneSource
 from repro.eval.common import ExperimentContext, prepare_context
 from repro.eval.reporting import format_table
 from repro.metrics.sdr import sdr
+from repro.metrics.sonr import sonr
 
 
 @dataclass
@@ -59,6 +60,7 @@ def run_multi_recorder_study(
     recorders: Sequence[str] = ("Moto Z4", "Mi 8 Lite", "Pocophone", "Galaxy S9"),
     num_audios: int = 3,
     distance_m: float = 0.5,
+    recorder_angle_deg: float = 0.0,
     affected_margin_db: float = 3.0,
     seed: int = 0,
 ) -> MultiRecorderResult:
@@ -69,6 +71,11 @@ def run_multi_recorder_study(
     NEC is switched on — i.e. the demodulated shadow measurably overshadows
     Bob at that recorder.  Every recorder listens to the same scene
     simultaneously.
+
+    ``recorder_angle_deg`` places all recorders off the axis Bob (and the
+    co-located NEC transmitter) face — the scenario grid's recorder-angle
+    axis.  At the default 0 degrees the study is bit-identical to the
+    original on-axis Table IV setup.
     """
     context = context if context is not None else prepare_context(seed=seed)
     config = context.config
@@ -87,16 +94,21 @@ def run_multi_recorder_study(
                 recorder_off = Recorder(device_name, seed=seed)
                 recorder_on = Recorder(device_name, seed=seed)
                 bob_recorder = Recorder(device_name, seed=seed)
-                recorded_off = system.record_over_the_air(
-                    bob, alice, recorder_off, distance_m=distance_m, enabled=False
+                recorded_off = recorder_off.record_scene(
+                    [
+                        SceneSource(
+                            bob, distance_m, angle_deg=recorder_angle_deg, label="target"
+                        ),
+                        SceneSource(alice, 0.05, label="background"),
+                    ]
                 )
                 recorded_on = _record_with_carrier(
-                    system, bob, alice, recorder_on, distance_m, carrier
+                    system, bob, alice, recorder_on, distance_m, carrier,
+                    angle_deg=recorder_angle_deg,
                 )
-                from repro.channel.recorder import SceneSource
-                from repro.metrics.sonr import sonr
-
-                bob_received = bob_recorder.record_scene([SceneSource(bob, distance_m)])
+                bob_received = bob_recorder.record_scene(
+                    [SceneSource(bob, distance_m, angle_deg=recorder_angle_deg)]
+                )
                 sonr_off = sonr(recorded_off.data, bob_received.data)
                 sonr_on = sonr(recorded_on.data, bob_received.data)
                 trial.sdr_without_nec[device_name] = sdr(bob.data, recorded_off.data)
@@ -107,21 +119,20 @@ def run_multi_recorder_study(
     return result
 
 
-def _record_with_carrier(system, bob, alice, recorder, distance_m, carrier_khz):
+def _record_with_carrier(system, bob, alice, recorder, distance_m, carrier_khz, angle_deg=0.0):
     """Record over the air using an explicit carrier frequency."""
-    from repro.channel.recorder import SceneSource
-
     protection = system.protect(bob + alice)
     system.speaker.carrier_hz = carrier_khz * 1000.0
     broadcast = system.speaker.broadcast(protection.shadow_wave)
     sources = [
-        SceneSource(bob, distance_m, label="target"),
+        SceneSource(bob, distance_m, angle_deg=angle_deg, label="target"),
         SceneSource(alice, 0.05, label="background"),
         SceneSource(
             broadcast,
             distance_m,
             is_ultrasound=True,
             carrier_khz=carrier_khz,
+            angle_deg=angle_deg,
             label="nec",
         ),
     ]

@@ -566,6 +566,58 @@ def _sharding_timing(
     )
 
 
+def _scenario_grid_timing(
+    config: NECConfig,
+    repetitions: int,
+    seed: int,
+    num_workers: Optional[int] = None,
+) -> KernelTiming:
+    """The batched+sharded scenario-grid runner vs the looped per-cell reference.
+
+    ``reference`` protects every scene with an individual ``protect`` call and
+    evaluates cells one by one; ``fast`` routes all protections through
+    :func:`repro.eval.common.batched_protections` and shards the cells over
+    :func:`repro.eval.common.run_sharded`.  Both paths share the same
+    measurement function, and the equivalence flag asserts **bit-identical**
+    cell reports — the contract ``benchmarks/test_scenarios.py`` additionally
+    pins across 1/2/4 workers.  On single-core hosts the fast path runs
+    inline (speedup ~1x from batching alone); the sharded win shows on
+    multi-core machines.
+    """
+    from repro.eval.common import prepare_context, resolve_num_workers
+    from repro.eval.scenarios import (
+        ScenarioGrid,
+        run_scenario_grid,
+        run_scenario_grid_looped,
+    )
+
+    workers = resolve_num_workers(num_workers)
+    if workers <= 1 and (os.cpu_count() or 1) >= 4:
+        workers = min(os.cpu_count() or 1, 4)
+    context = prepare_context(
+        config, num_speakers=4, examples_per_target=2, training_epochs=2, seed=seed
+    )
+    grid = ScenarioGrid(
+        rooms=("anechoic", "small_office"),
+        motions=("static", "walk_away"),
+        crowd_sizes=(2, 3),
+    )
+    reference = run_scenario_grid_looped(context, grid, seed=seed)
+    fast = run_scenario_grid(context, grid, seed=seed, num_workers=workers)
+    equivalent = len(reference.cells) == len(fast.cells) and all(
+        a.to_dict() == b.to_dict() for a, b in zip(reference.cells, fast.cells)
+    )
+    reference_ms = _time_call_best(
+        lambda: run_scenario_grid_looped(context, grid, seed=seed), repetitions
+    )
+    fast_ms = _time_call_best(
+        lambda: run_scenario_grid(context, grid, seed=seed, num_workers=workers), repetitions
+    )
+    return KernelTiming(
+        "scenario_grid", reference_ms, fast_ms, equivalent, 0.0 if equivalent else float("inf")
+    )
+
+
 def _streaming_timing(config: NECConfig, repetitions: int, seed: int) -> KernelTiming:
     """Cross-stream coalesced inference vs per-stream sequential passes.
 
@@ -716,8 +768,9 @@ def run_perf_trajectory(
     repo's persistent perf record: one entry per PR/run, each holding the
     full kernel table — the four evaluation fast-path kernels plus the
     precision (``float32_inference``), parallelism (``sharded_eval``),
-    cross-stream coalescing (``streaming_coalesce``) and end-to-end serving
-    (``serving_e2e``) kernels.  CI records an
+    cross-stream coalescing (``streaming_coalesce``), end-to-end serving
+    (``serving_e2e``) and scenario-matrix (``scenario_grid``) kernels.  CI
+    records an
     entry on every run, uploads the file, and fails if any kernel's
     ``equivalent`` flag is false.
 
@@ -737,6 +790,7 @@ def run_perf_trajectory(
         _float32_inference_timing(config, repetitions, seed),
         _streaming_timing(config, repetitions, seed),
         _serving_timing(config, repetitions, seed),
+        _scenario_grid_timing(config, repetitions, seed, num_workers=num_workers),
     ]
     if (os.cpu_count() or 1) >= 4:
         kernels.append(_sharding_timing(config, repetitions, seed, num_workers=num_workers))

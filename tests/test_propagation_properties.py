@@ -1,0 +1,266 @@
+"""Property-based invariants of the propagation kernels (hypothesis).
+
+The scenario grid shares one propagation code path for every channel axis —
+static direct path, rooms, motion — and that sharing rests on a handful of
+exact invariants promised in the channel modules' docstrings:
+
+* ``propagate`` is *exactly* ``fractional_delay`` + ``distance_attenuation``
+  (+ optional absorption), with ``reference_spl`` tracking ``spl_at_distance``;
+* ``air_absorption_filter`` fades in continuously above ``ABSORPTION_ONSET_M``
+  (the seed implementation had a step there);
+* every room impulse response keeps the direct tap at exactly 1.0, and the
+  anechoic room reproduces plain ``propagate`` bit for bit;
+* a static ``LinearMotion`` delegates to ``propagate`` bit for bit, and the
+  Doppler shift of a moving source emerges from the time-varying delay with
+  the textbook ``-f v/c`` magnitude.
+
+This harness pins them all as properties over random signals and distances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio.signal import AudioSignal
+from repro.channel.motion import (
+    MOTION_TABLE,
+    LinearMotion,
+    doppler_shift_hz,
+    propagate_moving,
+)
+from repro.channel.propagation import (
+    ABSORPTION_BLEND_M,
+    ABSORPTION_ONSET_M,
+    SPEED_OF_SOUND,
+    air_absorption_filter,
+    directivity_gain,
+    distance_attenuation,
+    propagate,
+    propagation_delay,
+    spl_at_distance,
+)
+from repro.channel.rir import ROOM_TABLE, apply_rir, get_room, propagate_in_room
+from repro.dsp.filters import fractional_delay
+
+SAMPLE_RATE = 8000
+
+
+def _signal(seed: int = 0, num_samples: int = 1200, spl: float = 77.0) -> AudioSignal:
+    rng = np.random.default_rng(seed)
+    signal = AudioSignal(0.1 * rng.standard_normal(num_samples), SAMPLE_RATE)
+    signal.reference_spl = spl
+    return signal
+
+
+distances = st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+seeds = st.integers(min_value=0, max_value=100)
+
+
+# ---------------------------------------------------------------------------
+# propagate: delay exactness, attenuation, SPL bookkeeping
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(distance=distances, seed=seeds)
+def test_propagate_is_exactly_delay_plus_attenuation(distance, seed):
+    """Without absorption, propagate == fractional_delay(gain * x) bit for bit."""
+    signal = _signal(seed)
+    out = propagate(signal, distance, include_absorption=False)
+    delay_samples = propagation_delay(distance) * SAMPLE_RATE
+    expected = fractional_delay(signal.data * distance_attenuation(distance), delay_samples)
+    np.testing.assert_array_equal(out.data, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(near=distances, far=distances, seed=seeds)
+def test_propagate_is_passive_and_attenuation_monotone(near, far, seed):
+    """The spreading gain decreases with distance and the channel is passive:
+    the received RMS never exceeds the spreading-gain envelope.
+
+    (Received RMS itself is *not* pointwise monotone in distance: the
+    fractional-delay interpolation attenuates broadband signals most at
+    half-sample delays and not at all at whole-sample delays, a wiggle with a
+    ~4.3 cm period — see the sample-aligned test below for the monotone law.)
+    """
+    near, far = sorted((near, far))
+    assert distance_attenuation(near) >= distance_attenuation(far)
+    signal = _signal(seed)
+    for distance in (near, far):
+        received = propagate(signal, distance, include_absorption=False)
+        assert received.rms() <= signal.rms() * distance_attenuation(distance) + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    near_steps=st.integers(min_value=0, max_value=100),
+    far_steps=st.integers(min_value=0, max_value=100),
+    seed=seeds,
+)
+def test_propagate_rms_monotone_at_sample_aligned_distances(near_steps, far_steps, seed):
+    """Farther never louder, measured where it is well-posed: at distances
+    whose delays are whole samples the interpolation term is constant, and
+    the received RMS decreases (weakly) with distance."""
+    step_m = SPEED_OF_SOUND / SAMPLE_RATE  # one sample of delay (~4.3 cm)
+    near_steps, far_steps = sorted((near_steps, far_steps))
+    signal = _signal(seed)
+    rms_near = propagate(signal, near_steps * step_m, include_absorption=False).rms()
+    rms_far = propagate(signal, far_steps * step_m, include_absorption=False).rms()
+    assert rms_far <= rms_near + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(distance=distances, spl=st.floats(min_value=40.0, max_value=94.0), seed=seeds)
+def test_propagate_spl_bookkeeping_matches_spl_at_distance(distance, spl, seed):
+    signal = _signal(seed, spl=spl)
+    out = propagate(signal, distance)
+    assert out.reference_spl == spl_at_distance(spl, distance)
+
+
+# ---------------------------------------------------------------------------
+# Air absorption: continuous fade-in at the onset distance
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(delta=st.floats(min_value=1e-6, max_value=ABSORPTION_BLEND_M), seed=seeds)
+def test_absorption_fades_in_linearly_above_onset(delta, seed):
+    """Just above the onset the output deviates from the raw signal by at most
+    the blend weight times the full filter's deviation — no step at 0.1 m.
+
+    At 8 kHz the filter cutoff is pinned at the 0.98-Nyquist clamp throughout
+    the blend band, so the linear-blend bound is exact.
+    """
+    data = _signal(seed).data
+    out = air_absorption_filter(data, SAMPLE_RATE, ABSORPTION_ONSET_M + delta)
+    full = air_absorption_filter(data, SAMPLE_RATE, ABSORPTION_ONSET_M + ABSORPTION_BLEND_M)
+    weight = min(delta / ABSORPTION_BLEND_M, 1.0)
+    assert np.max(np.abs(out - data)) <= weight * np.max(np.abs(full - data)) + 1e-9
+
+
+def test_absorption_continuous_across_onset_regression():
+    """Regression for the seed's step artifact: a fine distance sweep across
+    0.1 m must not jump at the threshold."""
+    data = _signal(3).data
+    below = air_absorption_filter(data, SAMPLE_RATE, ABSORPTION_ONSET_M)
+    np.testing.assert_array_equal(below, data)  # at/below onset: passthrough
+    just_above = air_absorption_filter(data, SAMPLE_RATE, ABSORPTION_ONSET_M + 1e-4)
+    rms = float(np.sqrt(np.mean(data**2)))
+    assert float(np.max(np.abs(just_above - data))) < 1e-2 * rms
+    # Adjacent steps of a fine sweep stay comparably small on both sides.
+    sweep = np.linspace(0.06, 0.34, 57)
+    outputs = [air_absorption_filter(data, SAMPLE_RATE, d) for d in sweep]
+    jumps = [float(np.max(np.abs(b - a))) for a, b in zip(outputs, outputs[1:])]
+    assert max(jumps) < 0.1 * rms
+
+
+# ---------------------------------------------------------------------------
+# Directivity: exact on-axis unity, monotone off-axis, ultrasound narrower
+# ---------------------------------------------------------------------------
+def test_directivity_exactly_unity_on_axis():
+    assert directivity_gain(0.0) == 1.0
+    assert directivity_gain(0.0, ultrasound=True) == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    near=st.floats(min_value=0.0, max_value=90.0),
+    far=st.floats(min_value=0.0, max_value=90.0),
+)
+def test_directivity_monotone_and_ultrasound_narrower(near, far):
+    near, far = sorted((near, far))
+    for ultrasound in (False, True):
+        assert directivity_gain(near, ultrasound) >= directivity_gain(far, ultrasound)
+        assert 0.0 < directivity_gain(far, ultrasound) <= 1.0
+    # The beam gap that breaks protection off axis: the ultrasonic pattern
+    # never exceeds the audible one.
+    assert directivity_gain(far, ultrasound=True) <= directivity_gain(far) + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Room impulse responses: unit direct tap, anechoic == propagate
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("room_name", sorted(ROOM_TABLE))
+@pytest.mark.parametrize("sample_rate", [8000, 16000])
+def test_rir_direct_tap_is_exactly_unity(room_name, sample_rate):
+    room = get_room(room_name)
+    assert room.impulse_response(sample_rate)[0] == 1.0
+    assert room.impulse_response(sample_rate, tail_gain=0.25)[0] == 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(distance=distances, seed=seeds)
+def test_anechoic_room_is_propagate_bit_for_bit(distance, seed):
+    signal = _signal(seed)
+    via_room = propagate_in_room(signal, distance, room="anechoic")
+    plain = propagate(signal, distance)
+    np.testing.assert_array_equal(via_room.data, plain.data)
+    assert via_room.reference_spl == plain.reference_spl
+
+
+def test_apply_rir_unit_tap_is_identity():
+    signal = _signal(1)
+    assert apply_rir(signal, np.array([1.0])) is signal
+
+
+@pytest.mark.parametrize("room_name", ["small_office", "conference_room", "concrete_lobby"])
+def test_rir_first_tap_matches_plain_propagate(room_name):
+    """Convolving with a room *adds* reflections: the direct-path component —
+    an impulse's first sample — comes through verbatim."""
+    room = get_room(room_name)
+    impulse = AudioSignal(np.concatenate([[1.0], np.zeros(255)]), SAMPLE_RATE)
+    response = room.impulse_response(SAMPLE_RATE)
+    convolved = apply_rir(impulse, response)
+    np.testing.assert_allclose(convolved.data, response[:256], atol=1e-12)
+    assert convolved.data[0] == pytest.approx(1.0, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Motion: static == propagate, Doppler from the time-varying delay
+# ---------------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(distance=distances, seed=seeds, absorption=st.booleans())
+def test_static_motion_is_propagate_bit_for_bit(distance, seed, absorption):
+    signal = _signal(seed)
+    moving = propagate_moving(
+        signal, LinearMotion(distance, distance), include_absorption=absorption
+    )
+    static = propagate(signal, distance, include_absorption=absorption)
+    np.testing.assert_array_equal(moving.data, static.data)
+    assert moving.reference_spl == static.reference_spl
+
+
+def test_motion_table_static_entry_is_static():
+    assert MOTION_TABLE["static"].is_static
+    assert not MOTION_TABLE["walk_away"].is_static
+
+
+def _dominant_frequency(data: np.ndarray, sample_rate: int) -> float:
+    """Peak of a finely zero-padded spectrum (~0.03 Hz resolution at 8 kHz)."""
+    windowed = data * np.hanning(data.size)
+    spectrum = np.abs(np.fft.rfft(windowed, n=1 << 18))
+    frequencies = np.fft.rfftfreq(1 << 18, 1.0 / sample_rate)
+    return float(frequencies[int(np.argmax(spectrum))])
+
+
+@pytest.mark.parametrize(
+    "motion_name, expected_sign", [("walk_toward", +1.0), ("walk_away", -1.0)]
+)
+def test_doppler_emerges_from_time_varying_delay(motion_name, expected_sign):
+    """A pure tone through a moving channel lands at f (1 - v/c): approaching
+    raises the pitch, receding lowers it, by the first-order Doppler amount."""
+    tone_hz = 1000.0
+    duration_s = 1.0
+    t = np.arange(int(duration_s * SAMPLE_RATE)) / SAMPLE_RATE
+    tone = AudioSignal(np.sin(2.0 * np.pi * tone_hz * t), SAMPLE_RATE)
+    motion = MOTION_TABLE[motion_name]
+    received = propagate_moving(tone, motion, include_absorption=False)
+    speed = motion.radial_speed_mps(duration_s)
+    expected = tone_hz + doppler_shift_hz(tone_hz, speed)
+    measured = _dominant_frequency(received.data, SAMPLE_RATE)
+    assert measured == pytest.approx(expected, abs=1.5)
+    assert (measured - tone_hz) * expected_sign > 2.0  # the shift is resolvable
+
+
+def test_doppler_shift_textbook_magnitude():
+    """1 m/s at a 27 kHz carrier is a ~79 Hz shift, receding lowers it."""
+    assert doppler_shift_hz(27000.0, 1.0) == pytest.approx(-78.7, abs=0.1)
+    assert doppler_shift_hz(27000.0, -1.0) == pytest.approx(+78.7, abs=0.1)
+    assert doppler_shift_hz(27000.0, 0.0) == 0.0
