@@ -84,3 +84,11 @@ def test_perf_trajectory(benchmark):
             f"4-way sharding below 2x on a >=4-core machine: "
             f"{by_name['sharded_eval']['speedup']:.2f}x"
         )
+
+    # The minibatched training step must beat N looped steps convincingly —
+    # this is the whole point of the frequency-domain batch kernel (a single
+    # core is enough: the win is memory traffic, not parallelism).
+    assert by_name["train_minibatch"]["speedup"] >= 2.0, (
+        f"batched training step below 2x over the looped reference: "
+        f"{by_name['train_minibatch']['speedup']:.2f}x"
+    )

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.audio.signal import AudioSignal
-from repro.core.config import NECConfig
+from repro.core.config import NECConfig, TrainingConfig
 from repro.dsp.features import log_mel_spectrogram
 from repro.dsp.las import long_time_average_spectrum
 from repro.nn import Adam, Dense, Module, ReLU, Sequential, Tensor, cross_entropy_loss
@@ -164,14 +164,21 @@ class NeuralEncoder(SpeakerEncoder):
         self,
         utterances_by_speaker: Dict[str, Sequence[AudioSignal | np.ndarray]],
         epochs: int = 30,
-        learning_rate: float = 1e-2,
+        learning_rate: Optional[float] = None,
+        config: Optional[TrainingConfig] = None,
     ) -> List[float]:
         """Train the encoder to classify speakers; returns the loss history.
 
         ``utterances_by_speaker`` maps speaker ids to lists of utterances.  The
         classification head is discarded after training; only the trunk is used
-        for embedding (the standard d-vector recipe).
+        for embedding (the standard d-vector recipe).  The learning rate comes
+        from ``config`` (a :class:`TrainingConfig`, defaulting to the repo-wide
+        :data:`~repro.core.config.DEFAULT_LEARNING_RATE`) unless the explicit
+        ``learning_rate`` keyword overrides it — the encoder used to carry its
+        own third default (1e-2) next to the trainer's two.
         """
+        if learning_rate is None:
+            learning_rate = (config or TrainingConfig()).validate().learning_rate
         speaker_ids = sorted(utterances_by_speaker)
         if len(speaker_ids) < 2:
             raise ValueError("encoder pre-training needs at least two speakers")

@@ -6,12 +6,38 @@ the spectrogram domain: for each crafted mixture, the recorded spectrogram is
 background spectrogram ``S_bk`` (everything except the target speaker),
 paper Eq. (6).  The encoder is frozen — only the Selector's parameters are
 optimised — matching the paper's procedure.
+
+Two training engines share that loss:
+
+- the **minibatched fast path** (:meth:`SelectorTrainer.fit`,
+  :meth:`SelectorTrainer.step_batch`): a whole ``(N, F, T)`` batch goes
+  through one autograd graph (:meth:`Selector.forward_batch_train`), so the
+  im2col construction, the convolution GEMMs and the backward col2im are paid
+  once per *batch* instead of once per *example*.  The batch loss is the mean
+  of the per-example losses, so one backward produces exactly the mean of the
+  per-example gradients (pinned per-op and end-to-end by
+  :func:`repro.nn.grad_check.check_batched_gradients`);
+- the **per-example reference loop** (:meth:`SelectorTrainer.fit_looped`):
+  the original engine, kept as the equivalence anchor — ``fit(batch_size=1)``
+  follows the same example order and matches its trained parameters to
+  float64 accumulation-order tolerance (``tests/test_training_batch.py``).
+
+Training data comes from :class:`ExampleStream`, a deterministic synthetic-
+mixture pipeline: example ``i`` is a pure function of ``(base_seed, i)`` via
+:func:`repro.core.seeding.derive_seed` chains, so the stream is bit-identical
+whether examples are built inline, ahead of time, or by a prefetching
+producer thread.  Every knob of both engines lives in one
+:class:`repro.core.config.TrainingConfig`.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from math import ceil
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,11 +45,12 @@ from repro.audio.corpus import SyntheticCorpus
 from repro.audio.mixing import mix_at_snr
 from repro.audio.noise import noise_by_name
 from repro.audio.signal import AudioSignal
-from repro.core.config import NECConfig
+from repro.core.config import NECConfig, TrainingConfig
 from repro.core.encoder import SpeakerEncoder
+from repro.core.seeding import derive_seed
 from repro.core.selector import Selector
 from repro.dsp.stft import magnitude_spectrogram
-from repro.nn import Adam, Tensor
+from repro.nn import Adam, Tensor, clip_grad_norm, make_lr_schedule, save_model
 
 
 @dataclass
@@ -42,10 +69,14 @@ class TrainingExample:
 
 @dataclass
 class TrainingHistory:
-    """Per-step loss trace of a training run."""
+    """Per-step trace of a training run (one entry per optimiser step)."""
 
     losses: List[float] = field(default_factory=list)
     epochs: int = 0
+    batch_size: int = 1
+    learning_rates: List[float] = field(default_factory=list)
+    grad_norms: List[float] = field(default_factory=list)  # pre-clip global norms
+    checkpoints: List[str] = field(default_factory=list)
 
     @property
     def initial_loss(self) -> float:
@@ -55,22 +86,59 @@ class TrainingHistory:
     def final_loss(self) -> float:
         return self.losses[-1] if self.losses else float("nan")
 
+    @property
+    def steps(self) -> int:
+        return len(self.losses)
+
     def improved(self) -> bool:
         """Did the loss go down over training?"""
         return bool(self.losses) and self.final_loss < self.initial_loss
 
 
+def make_training_example(
+    config: NECConfig,
+    mixed_audio: AudioSignal,
+    background_audio: AudioSignal,
+    d_vector: np.ndarray,
+    target_speaker: str = "",
+) -> TrainingExample:
+    """Build a training example from waveforms (spectrograms computed here)."""
+    mixed = magnitude_spectrogram(
+        mixed_audio.data, config.n_fft, config.win_length, config.hop_length
+    )
+    background = magnitude_spectrogram(
+        background_audio.data, config.n_fft, config.win_length, config.hop_length
+    )
+    frames = min(mixed.shape[1], background.shape[1])
+    return TrainingExample(
+        mixed_spectrogram=mixed[:, :frames],
+        background_spectrogram=background[:, :frames],
+        d_vector=np.asarray(d_vector, dtype=np.float64),
+        target_speaker=target_speaker,
+    )
+
+
 class SelectorTrainer:
-    """Adam-based trainer for the Selector on spectrogram-domain superposition."""
+    """Adam-based trainer for the Selector on spectrogram-domain superposition.
+
+    All hyper-parameters come from one :class:`TrainingConfig`; the legacy
+    ``learning_rate=`` keyword is still accepted and overrides the config's
+    value, so existing call sites keep working unchanged.
+    """
 
     def __init__(
         self,
         selector: Selector,
-        learning_rate: float = 1e-3,
+        learning_rate: Optional[float] = None,
+        config: Optional[TrainingConfig] = None,
     ) -> None:
         self.selector = selector
         self.config = selector.config
-        self.optimizer = Adam(selector.parameters(), lr=learning_rate)
+        train_config = (config or TrainingConfig()).validate()
+        if learning_rate is not None:
+            train_config = train_config.replace(learning_rate=float(learning_rate))
+        self.train_config = train_config
+        self.optimizer = Adam(selector.parameters(), lr=train_config.learning_rate)
 
     # -- dataset construction --------------------------------------------------
     def make_example(
@@ -81,19 +149,8 @@ class SelectorTrainer:
         target_speaker: str = "",
     ) -> TrainingExample:
         """Build a training example from waveforms (spectrograms computed here)."""
-        config = self.config
-        mixed = magnitude_spectrogram(
-            mixed_audio.data, config.n_fft, config.win_length, config.hop_length
-        )
-        background = magnitude_spectrogram(
-            background_audio.data, config.n_fft, config.win_length, config.hop_length
-        )
-        frames = min(mixed.shape[1], background.shape[1])
-        return TrainingExample(
-            mixed_spectrogram=mixed[:, :frames],
-            background_spectrogram=background[:, :frames],
-            d_vector=np.asarray(d_vector, dtype=np.float64),
-            target_speaker=target_speaker,
+        return make_training_example(
+            self.config, mixed_audio, background_audio, d_vector, target_speaker
         )
 
     # -- loss --------------------------------------------------------------------
@@ -111,6 +168,39 @@ class SelectorTrainer:
         diff = record - background_t
         return (diff * diff).mean()
 
+    def batch_loss(self, examples: Sequence[TrainingExample]) -> Tensor:
+        """Eq. (6) over a stacked minibatch: the mean of the per-example losses.
+
+        All examples must share a spectrogram shape (one ``(N, F, T)`` stack,
+        one autograd graph).  Because every example contributes ``T * F`` bins,
+        the mean over ``(N, T, F)`` equals the mean of the per-example
+        :meth:`example_loss` values exactly, so one backward through this loss
+        yields the *mean* of the per-example gradients — the minibatch SGD
+        contract that makes ``fit(batch_size=1)`` match :meth:`fit_looped`.
+        """
+        if not examples:
+            raise ValueError("batch_loss() needs at least one example")
+        shape = examples[0].mixed_spectrogram.shape
+        for example in examples[1:]:
+            if example.mixed_spectrogram.shape != shape:
+                raise ValueError(
+                    "batch_loss() needs a shape-homogeneous batch: got "
+                    f"{example.mixed_spectrogram.shape} alongside {shape}"
+                )
+        mixed = np.stack([example.mixed_spectrogram for example in examples])  # (N, F, T)
+        vectors = np.stack([example.d_vector for example in examples])        # (N, dim)
+        background_t = Tensor(
+            np.stack([example.background_spectrogram.T for example in examples])
+        )  # (N, T, F), constant
+        output = self.selector.forward_batch_train(mixed, vectors)            # (N, T, F)
+        mixed_t = Tensor(mixed.transpose(0, 2, 1))                            # (N, T, F)
+        if self.config.output_mode == "mask":
+            record = mixed_t * (1.0 - output)
+        else:
+            record = mixed_t + output
+        diff = record - background_t
+        return (diff * diff).mean()
+
     # -- optimisation -------------------------------------------------------------
     def step(self, example: TrainingExample) -> float:
         """One optimisation step on a single example; returns the loss value."""
@@ -120,18 +210,132 @@ class SelectorTrainer:
         self.optimizer.step()
         return float(loss.data)
 
+    def step_batch(self, examples: Sequence[TrainingExample]) -> Tuple[float, float]:
+        """One optimisation step on a minibatch.
+
+        Returns ``(batch_loss, pre_clip_grad_norm)``.  Gradient clipping uses
+        ``train_config.grad_clip`` (0 disables); the learning rate is whatever
+        ``self.optimizer.lr`` currently holds — :meth:`fit` sets it from the
+        configured schedule before each step.  A single-example batch goes
+        through :meth:`example_loss` (the im2col graph) rather than the
+        frequency-domain batch graph, so ``fit(batch_size=1)`` stays
+        *bit-identical* to :meth:`fit_looped` instead of merely equal to FFT
+        round-off.
+        """
+        self.optimizer.zero_grad()
+        if len(examples) == 1:
+            loss = self.example_loss(examples[0])
+        else:
+            loss = self.batch_loss(examples)
+        loss.backward()
+        grad_norm = clip_grad_norm(self.optimizer.parameters, self.train_config.grad_clip)
+        self.optimizer.step()
+        return float(loss.data), grad_norm
+
+    def _run_batches(
+        self,
+        batches: Iterable[Sequence[TrainingExample]],
+        history: TrainingHistory,
+        schedule,
+        start_step: int = 0,
+    ) -> int:
+        """Drive ``step_batch`` over ``batches``; returns the next step index."""
+        config = self.train_config
+        step_index = start_step
+        for batch in batches:
+            self.optimizer.lr = schedule(step_index)
+            loss, grad_norm = self.step_batch(batch)
+            history.losses.append(loss)
+            history.learning_rates.append(self.optimizer.lr)
+            history.grad_norms.append(grad_norm)
+            step_index += 1
+            if config.checkpoint_every and step_index % config.checkpoint_every == 0:
+                path = save_model(
+                    self.selector,
+                    Path(config.checkpoint_dir) / f"selector_step{step_index:06d}.npz",
+                )
+                history.checkpoints.append(str(path))
+        return step_index
+
     def fit(
         self,
         examples: Sequence[TrainingExample],
-        epochs: int = 5,
-        shuffle: bool = True,
-        seed: int = 0,
+        epochs: Optional[int] = None,
+        shuffle: Optional[bool] = None,
+        seed: Optional[int] = None,
         verbose: bool = False,
+        batch_size: Optional[int] = None,
     ) -> TrainingHistory:
-        """Train over the example set for ``epochs`` passes."""
+        """Minibatched training over the example set for ``epochs`` passes.
+
+        Defaults come from ``train_config``; keyword overrides win.  Each
+        epoch shuffles the example order (same RNG consumption for every
+        batch size), partitions it into consecutive batches of ``batch_size``
+        (last batch possibly partial) and takes one :meth:`step_batch` per
+        batch under the configured LR schedule, gradient clipping and
+        periodic checkpointing.  ``batch_size=1`` visits examples in exactly
+        the order :meth:`fit_looped` would and produces the same trained
+        parameters to float64 accumulation-order tolerance (pinned by
+        ``tests/test_training_batch.py``).
+        """
+        config = self.train_config
+        epochs = config.epochs if epochs is None else int(epochs)
+        shuffle = config.shuffle if shuffle is None else bool(shuffle)
+        seed = config.seed if seed is None else int(seed)
+        batch_size = config.batch_size if batch_size is None else int(batch_size)
         if not examples:
             raise ValueError("fit() needs at least one training example")
-        history = TrainingHistory(epochs=epochs)
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        examples = list(examples)
+        steps_per_epoch = ceil(len(examples) / batch_size)
+        schedule = make_lr_schedule(
+            config.lr_schedule,
+            config.learning_rate,
+            total_steps=max(epochs * steps_per_epoch, 1),
+            warmup_steps=config.warmup_steps,
+            min_lr_factor=config.min_lr_factor,
+        )
+        history = TrainingHistory(epochs=epochs, batch_size=batch_size)
+        rng = np.random.default_rng(seed)
+        order = np.arange(len(examples))
+        step_index = 0
+        for epoch in range(epochs):
+            if shuffle:
+                rng.shuffle(order)
+            batches = (
+                [examples[i] for i in order[start : start + batch_size]]
+                for start in range(0, len(order), batch_size)
+            )
+            step_index = self._run_batches(batches, history, schedule, step_index)
+            if verbose:  # pragma: no cover - logging aid
+                print(f"epoch {epoch + 1}/{epochs}: loss {history.losses[-1]:.4f}")
+        return history
+
+    def fit_looped(
+        self,
+        examples: Sequence[TrainingExample],
+        epochs: Optional[int] = None,
+        shuffle: Optional[bool] = None,
+        seed: Optional[int] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """The original per-example reference loop (one step per example).
+
+        Kept as the equivalence anchor for the minibatched fast path: no
+        schedule, no clipping — the constant configured learning rate, exactly
+        the pre-minibatch engine.  ``fit(batch_size=1, lr_schedule='constant',
+        grad_clip=0)`` is pinned to produce the same trained parameters.
+        """
+        config = self.train_config
+        epochs = config.epochs if epochs is None else int(epochs)
+        shuffle = config.shuffle if shuffle is None else bool(shuffle)
+        seed = config.seed if seed is None else int(seed)
+        if not examples:
+            raise ValueError("fit_looped() needs at least one training example")
+        examples = list(examples)
+        history = TrainingHistory(epochs=epochs, batch_size=1)
+        self.optimizer.lr = config.learning_rate
         rng = np.random.default_rng(seed)
         order = np.arange(len(examples))
         for epoch in range(epochs):
@@ -140,18 +344,301 @@ class SelectorTrainer:
             for index in order:
                 loss = self.step(examples[index])
                 history.losses.append(loss)
+                history.learning_rates.append(self.optimizer.lr)
             if verbose:  # pragma: no cover - logging aid
                 print(f"epoch {epoch + 1}/{epochs}: loss {history.losses[-1]:.4f}")
         return history
 
-    def evaluate(self, examples: Sequence[TrainingExample]) -> float:
-        """Mean loss without updating parameters."""
+    def fit_streaming(
+        self,
+        stream: "ExampleStream",
+        steps: int,
+        batch_size: Optional[int] = None,
+        start_index: int = 0,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``steps`` optimiser steps on a (prefetching) example stream.
+
+        Consecutive stream examples form consecutive batches, so the data a
+        run sees depends only on ``(stream seed, start_index, steps,
+        batch_size)`` — never on the prefetch depth (the stream's bit-identity
+        contract).  The LR schedule spans exactly ``steps``.
+        """
+        config = self.train_config
+        batch_size = config.batch_size if batch_size is None else int(batch_size)
+        if steps < 1:
+            raise ValueError("fit_streaming() needs at least one step")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        schedule = make_lr_schedule(
+            config.lr_schedule,
+            config.learning_rate,
+            total_steps=steps,
+            warmup_steps=config.warmup_steps,
+            min_lr_factor=config.min_lr_factor,
+        )
+        history = TrainingHistory(epochs=1, batch_size=batch_size)
+        iterator = stream.iterate(start=start_index, count=steps * batch_size)
+
+        def batches() -> Iterator[List[TrainingExample]]:
+            batch: List[TrainingExample] = []
+            for example in iterator:
+                batch.append(example)
+                if len(batch) == batch_size:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+
+        self._run_batches(batches(), history, schedule)
+        if verbose:  # pragma: no cover - logging aid
+            print(f"{steps} streaming steps: loss {history.final_loss:.4f}")
+        return history
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(
+        self, examples: Sequence[TrainingExample], batch_size: Optional[int] = None
+    ) -> float:
+        """Mean per-example loss without updating parameters.
+
+        Runs through the gradient-free batched forward
+        (:meth:`Selector.forward_batch`): examples are grouped by spectrogram
+        shape, chunked at ``batch_size``, and each chunk's losses come from
+        one stacked pass.  Each row is bit-identical to the per-example
+        forward, so the result matches :meth:`evaluate_looped` to float64
+        summation-order tolerance at a fraction of the wall clock.
+        """
         if not examples:
             raise ValueError("evaluate() needs at least one example")
+        batch_size = self.train_config.batch_size if batch_size is None else int(batch_size)
+        batch_size = max(batch_size, 1)
+        examples = list(examples)
+        by_shape: Dict[Tuple[int, int], List[int]] = {}
+        for index, example in enumerate(examples):
+            by_shape.setdefault(example.mixed_spectrogram.shape, []).append(index)
+        losses = np.zeros(len(examples))
+        for indices in by_shape.values():
+            for start in range(0, len(indices), batch_size):
+                chunk = indices[start : start + batch_size]
+                mixed = np.stack([examples[i].mixed_spectrogram for i in chunk])
+                vectors = np.stack([examples[i].d_vector for i in chunk])
+                background_t = np.stack(
+                    [examples[i].background_spectrogram.T for i in chunk]
+                )
+                output = self.selector.forward_batch(mixed, vectors)  # (n, T, F)
+                mixed_t = mixed.transpose(0, 2, 1)
+                if self.config.output_mode == "mask":
+                    record = mixed_t * (1.0 - output)
+                else:
+                    record = mixed_t + output
+                diff = record - background_t
+                losses[chunk] = (diff * diff).mean(axis=(1, 2))
+        return float(losses.mean())
+
+    def evaluate_looped(self, examples: Sequence[TrainingExample]) -> float:
+        """Per-example reference evaluation (the pre-minibatch engine)."""
+        if not examples:
+            raise ValueError("evaluate_looped() needs at least one example")
         total = 0.0
         for example in examples:
             total += float(self.example_loss(example).data)
         return total / len(examples)
+
+
+class ExampleStream:
+    """A deterministic, optionally prefetching stream of crafted mixtures.
+
+    Example ``i`` is a **pure function** of ``(base_seed, i)``: every random
+    draw an example needs (target utterance, SNR, interference pick,
+    interference utterance, noise synthesis) uses its own
+    :func:`~repro.core.seeding.derive_seed` chain
+
+    ``derive_seed(derive_seed(derive_seed(seed, target_idx), draw), component)``
+
+    so no draw shares a stream with any other draw.  This fixes the seed
+    collisions of the historical eager builder, where ``seed * 977 + index``
+    (target) and ``seed * 991 + index`` (interference) collapse to the same
+    value at ``seed=0`` and ignore the target speaker entirely — every target
+    trained on the *same* utterances mixed with themselves.
+
+    The index layout interleaves targets in blocks of
+    ``num_examples_per_target``: indices ``0 .. k*T-1`` reproduce the eager
+    builder's target-major order, and the stream then continues with fresh
+    draws forever — streaming training never runs out of data.  Because
+    :meth:`example_at` is pure, the prefetching iterator (a bounded producer
+    thread) is bit-identical to inline construction for **any** queue depth.
+    """
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        encoder: SpeakerEncoder,
+        config: NECConfig,
+        target_speakers: Sequence[str],
+        interference_speakers: Sequence[str] = (),
+        training: Optional[TrainingConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not target_speakers:
+            raise ValueError("ExampleStream needs at least one target speaker")
+        self.corpus = corpus
+        self.encoder = encoder
+        self.config = config.validate()
+        self.training = (training or TrainingConfig()).validate()
+        self.target_speakers = list(target_speakers)
+        self.interference_speakers = list(interference_speakers)
+        self.seed = int(seed)
+        self._d_vectors: Dict[str, np.ndarray] = {}
+        self._d_vector_lock = threading.Lock()
+
+    # -- deterministic example construction ---------------------------------
+    def d_vector_for(self, target_speaker: str) -> np.ndarray:
+        """The frozen reference embedding of a target (computed once, cached)."""
+        with self._d_vector_lock:
+            vector = self._d_vectors.get(target_speaker)
+        if vector is None:
+            references = self.corpus.reference_audios(
+                target_speaker,
+                count=self.config.num_reference_audios,
+                seconds=self.config.reference_seconds,
+            )
+            vector = self.encoder.embed(references)
+            with self._d_vector_lock:
+                vector = self._d_vectors.setdefault(target_speaker, vector)
+        return vector
+
+    def example_at(self, index: int) -> TrainingExample:
+        """Build example ``index`` — pure in ``(self.seed, index)``."""
+        if index < 0:
+            raise ValueError("example index must be non-negative")
+        per_target = self.training.num_examples_per_target
+        num_targets = len(self.target_speakers)
+        target_index = (index // per_target) % num_targets
+        draw = (index % per_target) + per_target * (index // (per_target * num_targets))
+        target = self.target_speakers[target_index]
+        example_seed = derive_seed(derive_seed(self.seed, target_index), draw)
+        duration = self.config.segment_seconds
+
+        target_utt = self.corpus.utterance(
+            target, seed=derive_seed(example_seed, 0), duration=duration
+        )
+        snr_rng = np.random.default_rng(derive_seed(example_seed, 1))
+        snr_db = float(snr_rng.uniform(*self.training.snr_db_range))
+        use_interference = self.interference_speakers and (
+            draw % 2 == 0 or not self.training.noise_scenarios
+        )
+        if use_interference:
+            pick_rng = np.random.default_rng(derive_seed(example_seed, 2))
+            other = self.interference_speakers[
+                int(pick_rng.integers(len(self.interference_speakers)))
+            ]
+            other_utt = self.corpus.utterance(
+                other, seed=derive_seed(example_seed, 3), duration=duration
+            )
+            background = other_utt.audio
+        else:
+            noise_rng = np.random.default_rng(derive_seed(example_seed, 4))
+            scenario = self.training.noise_scenarios[
+                int(noise_rng.integers(len(self.training.noise_scenarios)))
+            ]
+            background = noise_by_name(
+                scenario, duration, self.config.sample_rate, rng=noise_rng
+            )
+        mixed, background_scaled = mix_at_snr(target_utt.audio, background, snr_db)
+        num_samples = self.config.segment_samples
+        return make_training_example(
+            self.config,
+            mixed.fit_to(num_samples),
+            background_scaled.fit_to(num_samples),
+            self.d_vector_for(target),
+            target_speaker=target,
+        )
+
+    # -- iteration -----------------------------------------------------------
+    def take(self, count: int, start: int = 0) -> List[TrainingExample]:
+        """The first ``count`` examples from ``start`` as an eager list."""
+        return [self.example_at(start + offset) for offset in range(count)]
+
+    def iterate(
+        self,
+        start: int = 0,
+        count: Optional[int] = None,
+        prefetch: Optional[int] = None,
+    ) -> Iterator[TrainingExample]:
+        """Iterate examples ``start, start+1, ...`` (``count`` of them, or forever).
+
+        ``prefetch`` (default: ``training.prefetch``) > 0 builds examples on a
+        producer thread ahead of the consumer, bounded by a queue of that
+        depth — mixture synthesis (STFTs, noise generation) overlaps the
+        optimiser step.  The yielded sequence is bit-identical for every
+        depth, because each example depends only on its index.
+        """
+        prefetch = self.training.prefetch if prefetch is None else int(prefetch)
+        if prefetch <= 0:
+            return self._inline_iter(start, count)
+        return self._prefetch_iter(start, count, prefetch)
+
+    def __iter__(self) -> Iterator[TrainingExample]:
+        return self.iterate()
+
+    def _inline_iter(
+        self, start: int, count: Optional[int]
+    ) -> Iterator[TrainingExample]:
+        index = start
+        produced = 0
+        while count is None or produced < count:
+            yield self.example_at(index)
+            index += 1
+            produced += 1
+
+    def _prefetch_iter(
+        self, start: int, count: Optional[int], depth: int
+    ) -> Iterator[TrainingExample]:
+        results: "queue.Queue" = queue.Queue(maxsize=depth)
+        stop = threading.Event()
+
+        def producer() -> None:
+            index = start
+            produced = 0
+            try:
+                while count is None or produced < count:
+                    item = self.example_at(index)
+                    while not stop.is_set():
+                        try:
+                            results.put(("item", item), timeout=0.05)
+                            break
+                        except queue.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                    index += 1
+                    produced += 1
+                payload = ("end", None)
+            except BaseException as error:  # propagate to the consumer
+                payload = ("error", error)
+            while not stop.is_set():
+                try:
+                    results.put(payload, timeout=0.05)
+                    return
+                except queue.Full:
+                    continue
+
+        worker = threading.Thread(
+            target=producer, name="example-stream-prefetch", daemon=True
+        )
+        worker.start()
+        try:
+            while True:
+                kind, payload = results.get()
+                if kind == "item":
+                    yield payload
+                elif kind == "error":
+                    raise payload
+                else:  # "end"
+                    return
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
 
 
 def build_training_examples(
@@ -164,42 +651,32 @@ def build_training_examples(
     noise_scenarios: Sequence[str] = ("babble", "vehicle"),
     snr_db_range: tuple = (-3.0, 3.0),
     seed: int = 0,
+    config: Optional[TrainingConfig] = None,
 ) -> List[TrainingExample]:
-    """Craft the paper's training mixtures.
+    """Craft the paper's training mixtures (the eager front of :class:`ExampleStream`).
 
     For each target speaker: mix a target utterance with either another
     speaker's utterance or a NOISEX-like noise at a random SNR; the background
     component alone is the regression target.  The d-vector comes from the
     frozen encoder applied to the target's reference audios (never the test
-    utterance itself).
+    utterance itself).  Randomness is :func:`derive_seed`-chained per draw,
+    so the target and interference utterances can never collide (the historic
+    ``seed * 977 + index`` / ``seed * 991 + index`` scheme collapsed to the
+    same stream at ``seed=0``).
     """
-    config = trainer.config
-    rng = np.random.default_rng(seed)
-    examples: List[TrainingExample] = []
-    duration = config.segment_seconds
-    for target in target_speakers:
-        references = corpus.reference_audios(
-            target, count=config.num_reference_audios, seconds=config.reference_seconds
-        )
-        d_vector = encoder.embed(references)
-        for index in range(num_examples_per_target):
-            target_utt = corpus.utterance(target, seed=seed * 977 + index, duration=duration)
-            snr_db = float(rng.uniform(*snr_db_range))
-            if interference_speakers and (index % 2 == 0 or not noise_scenarios):
-                other = interference_speakers[int(rng.integers(len(interference_speakers)))]
-                other_utt = corpus.utterance(other, seed=seed * 991 + index, duration=duration)
-                background = other_utt.audio
-            else:
-                scenario = noise_scenarios[int(rng.integers(len(noise_scenarios)))]
-                background = noise_by_name(scenario, duration, config.sample_rate, rng=rng)
-            mixed, background_scaled = mix_at_snr(target_utt.audio, background, snr_db)
-            num_samples = config.segment_samples
-            examples.append(
-                trainer.make_example(
-                    mixed.fit_to(num_samples),
-                    background_scaled.fit_to(num_samples),
-                    d_vector,
-                    target_speaker=target,
-                )
-            )
-    return examples
+    training = config or TrainingConfig()
+    training = training.replace(
+        num_examples_per_target=int(num_examples_per_target),
+        noise_scenarios=tuple(noise_scenarios),
+        snr_db_range=tuple(snr_db_range),
+    )
+    stream = ExampleStream(
+        corpus,
+        encoder,
+        trainer.config,
+        target_speakers,
+        interference_speakers,
+        training=training,
+        seed=seed,
+    )
+    return stream.take(len(list(target_speakers)) * int(num_examples_per_target))

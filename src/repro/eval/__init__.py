@@ -31,6 +31,7 @@ from repro.eval.runtime import (
     run_eval_fastpath_analysis,
     run_streaming_rtf_analysis,
     run_perf_trajectory,
+    run_training_analysis,
     RuntimeResult,
     BatchedRuntimeResult,
     EvalFastpathResult,
@@ -38,6 +39,8 @@ from repro.eval.runtime import (
     StreamingRuntimeResult,
     StreamChunkTiming,
     StreamScalingTiming,
+    TrainingBenchResult,
+    TrainingScaleSide,
 )
 from repro.eval.device_study import run_device_study, DeviceStudyResult
 from repro.eval.multi_recorder import run_multi_recorder_study, MultiRecorderResult
@@ -87,6 +90,9 @@ __all__ = [
     "run_eval_fastpath_analysis",
     "run_streaming_rtf_analysis",
     "run_perf_trajectory",
+    "run_training_analysis",
+    "TrainingBenchResult",
+    "TrainingScaleSide",
     "BatchedRuntimeResult",
     "EvalFastpathResult",
     "KernelTiming",

@@ -24,9 +24,10 @@ import numpy as np
 
 from repro.audio.corpus import SyntheticCorpus
 from repro.audio.signal import AudioSignal
-from repro.core.config import NECConfig
+from repro.core.config import NECConfig, TrainingConfig
 from repro.core.encoder import SpeakerEncoder, SpectralEncoder
 from repro.core.pipeline import NECSystem, ProtectionResult
+from repro.core.seeding import derive_seed  # re-export: studies/tests import it here
 from repro.core.selector import Selector
 from repro.core.training import SelectorTrainer, TrainingHistory, build_training_examples
 
@@ -114,16 +115,6 @@ def _invoke_shard(index: int) -> Tuple[int, Any]:
     return index, work(index, items[index])
 
 
-def derive_seed(base_seed: int, index: int) -> int:
-    """A per-item seed that depends only on ``(base_seed, index)``.
-
-    Derived through :class:`numpy.random.SeedSequence`, so consecutive items
-    get statistically independent streams — and because the derivation never
-    involves the worker that happens to run the item, shard results are
-    bit-stable for any worker count (the contract pinned by
-    ``tests/test_eval_sharding.py``).
-    """
-    return int(np.random.SeedSequence([int(base_seed), int(index)]).generate_state(1)[0])
 
 
 def resolve_num_workers(num_workers: Optional[int] = None) -> int:
@@ -234,17 +225,35 @@ def prepare_context(
     num_others: Optional[int] = None,
     examples_per_target: int = 4,
     training_epochs: int = 6,
-    learning_rate: float = 2e-3,
+    learning_rate: Optional[float] = None,
     train: bool = True,
     seed: int = 0,
+    training: Optional[TrainingConfig] = None,
 ) -> ExperimentContext:
-    """Build (and optionally train) a complete experiment context."""
+    """Build (and optionally train) a complete experiment context.
+
+    The training recipe is one :class:`TrainingConfig` (``training``); the
+    legacy ``examples_per_target`` / ``training_epochs`` / ``learning_rate``
+    keywords override the matching fields so existing call sites keep their
+    meaning.  The default keeps ``batch_size=1`` — one optimiser step per
+    example, the dynamics every pinned benchmark quality gate was measured
+    under; larger-batch contexts opt in explicitly via ``training=``.
+    """
     config = (config or NECConfig.tiny()).validate()
+    train_config = (training or TrainingConfig(batch_size=1)).validate()
+    overrides = {
+        "num_examples_per_target": int(examples_per_target),
+        "epochs": int(training_epochs),
+        "seed": int(seed),
+    }
+    if learning_rate is not None:
+        overrides["learning_rate"] = float(learning_rate)
+    train_config = train_config.replace(**overrides)
     corpus = SyntheticCorpus(num_speakers=num_speakers, sample_rate=config.sample_rate, seed=seed)
     targets, others = corpus.split_speakers(num_targets, num_others)
     encoder = SpectralEncoder(config, seed=seed)
     selector = Selector(config, seed=seed)
-    trainer = SelectorTrainer(selector, learning_rate=learning_rate)
+    trainer = SelectorTrainer(selector, config=train_config)
     context = ExperimentContext(
         config=config,
         corpus=corpus,
@@ -261,8 +270,9 @@ def prepare_context(
             trainer,
             targets,
             others,
-            num_examples_per_target=examples_per_target,
+            num_examples_per_target=train_config.num_examples_per_target,
             seed=seed,
+            config=train_config,
         )
-        context.training_history = trainer.fit(examples, epochs=training_epochs, seed=seed)
+        context.training_history = trainer.fit(examples)
     return context

